@@ -1,0 +1,217 @@
+// Package k23_test holds the top-level benchmark harness: one benchmark
+// per paper table/figure (see DESIGN.md's experiment index E1-E9). The
+// benchmarks report the reproduced quantities as custom metrics —
+// x-native overheads for Table 5, %-of-native throughput for Table 6 —
+// so `go test -bench=.` regenerates the paper's evaluation.
+package k23_test
+
+import (
+	"testing"
+
+	"k23/internal/bench"
+	"k23/internal/interpose"
+	"k23/internal/interpose/variants"
+	"k23/internal/pitfalls"
+	"k23/internal/robinset"
+	"k23/internal/zpoline"
+)
+
+// BenchmarkTable2OfflinePhase (E1): the offline profiling phase across
+// the nine workloads; reports unique syscall sites for the headline app.
+func BenchmarkTable2OfflinePhase(b *testing.B) {
+	var rows []bench.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Sites), r.Name+"-sites")
+	}
+}
+
+// BenchmarkTable3PitfallMatrix (E2): the full PoC matrix over the three
+// paper columns; reports the number of handled cells per interposer.
+func BenchmarkTable3PitfallMatrix(b *testing.B) {
+	var results []pitfalls.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = pitfalls.Matrix(variants.Table3Columns())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	handled := map[string]int{}
+	for _, r := range results {
+		if r.Handled {
+			handled[r.Interposer]++
+		}
+	}
+	for name, n := range handled {
+		b.ReportMetric(float64(n), name+"-handled-of-9")
+	}
+}
+
+// BenchmarkTable5Micro (E3): the syscall-500 stress test per variant;
+// reports the overhead factor relative to native.
+func BenchmarkTable5Micro(b *testing.B) {
+	nativeSpec, _ := variants.ByName("native")
+	native, err := bench.MicroSlope(nativeSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range bench.Table5Variants() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			spec, _ := variants.ByName(name)
+			var slope float64
+			for i := 0; i < b.N; i++ {
+				slope, err = bench.MicroSlope(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(slope/native, "x-native")
+			b.ReportMetric(bench.PaperTable5[name], "x-native-paper")
+		})
+	}
+}
+
+// BenchmarkTable6Macro (E4): the server/database macrobenchmarks;
+// reports relative throughput (% of native) per variant.
+func BenchmarkTable6Macro(b *testing.B) {
+	for _, cfg := range bench.MacroConfigs() {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			var row bench.MacroRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = bench.Table6Row(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, v := range bench.Table6Variants() {
+				b.ReportMetric(row.Relative[v], v+"-%native")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1Anatomy (E5): misidentification anatomy generation.
+func BenchmarkFigure1Anatomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if bench.Figure1() == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure2OfflineFlow (E6): the offline-phase event trace.
+func BenchmarkFigure2OfflineFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4OnlineFlow (E6): the online-phase event trace.
+func BenchmarkFigure4OnlineFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStartupClaim (E7): ls's pre-interposition startup syscalls.
+func BenchmarkStartupClaim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ClaimStartup(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNullCheckMemory (E8): bitmap vs robin-set footprint for a
+// rewritten-site set of paper-scale cardinality (92 sites, redis).
+func BenchmarkNullCheckMemory(b *testing.B) {
+	sites := make([]uint64, 92)
+	for i := range sites {
+		sites[i] = 0x5500_0000 + uint64(i)*37
+	}
+	b.Run("zpoline-bitmap", func(b *testing.B) {
+		var bm *zpoline.Bitmap
+		for i := 0; i < b.N; i++ {
+			bm = zpoline.NewBitmap()
+			for _, s := range sites {
+				bm.Set(s)
+			}
+		}
+		b.ReportMetric(float64(bm.ReservedBytes()), "reserved-bytes")
+		b.ReportMetric(float64(bm.ResidentBytes()), "resident-bytes")
+	})
+	b.Run("k23-robinset", func(b *testing.B) {
+		var set *robinset.Set
+		for i := 0; i < b.N; i++ {
+			set = robinset.New(len(sites))
+			for _, s := range sites {
+				set.Insert(s)
+			}
+		}
+		b.ReportMetric(0, "reserved-bytes")
+		b.ReportMetric(float64(set.MemBytes()), "resident-bytes")
+	})
+}
+
+// BenchmarkAblationNullCheck (E9): isolates the per-call cost of the
+// Table 4 features by differencing variant slopes.
+func BenchmarkAblationNullCheck(b *testing.B) {
+	measure := func(name string) float64 {
+		spec, _ := variants.ByName(name)
+		s, err := bench.MicroSlope(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	var zDelta, kDelta, sDelta float64
+	for i := 0; i < b.N; i++ {
+		zDelta = measure("zpoline-ultra") - measure("zpoline-default")
+		kDelta = measure("k23-ultra") - measure("k23-default")
+		sDelta = measure("k23-ultra+") - measure("k23-ultra")
+	}
+	b.ReportMetric(zDelta, "bitmap-check-cycles")
+	b.ReportMetric(kDelta, "robinset-check-cycles")
+	b.ReportMetric(sDelta, "stack-switch-cycles")
+}
+
+// BenchmarkSimulator measures raw simulator speed (instructions/sec) to
+// contextualize the harness runtimes.
+func BenchmarkSimulator(b *testing.B) {
+	nativeSpec, _ := variants.ByName("native")
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		n, err := bench.SimulatorThroughput(nativeSpec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = n
+	}
+	b.ReportMetric(float64(insts), "insts/run")
+}
+
+// Sanity: the whole benchmark surface is runnable from a fresh world.
+func TestBenchSurfaceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	spec, _ := variants.ByName("zpoline-default")
+	if _, err := bench.MicroSlope(spec); err != nil {
+		t.Fatal(err)
+	}
+	_ = interpose.Config{}
+}

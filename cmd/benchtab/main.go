@@ -1,0 +1,152 @@
+// Command benchtab regenerates the paper's evaluation artifacts: every
+// table (2, 3, 5, 6) and the content of every figure (1, 2, 4 — Figure 3
+// is the log file printed by k23-offline), plus the standalone measured
+// claims (startup syscall count, P4b memory overhead).
+//
+// Usage:
+//
+//	benchtab -table 5
+//	benchtab -table all
+//	benchtab -figure 1
+//	benchtab -claim startup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"k23/internal/bench"
+	"k23/internal/interpose/variants"
+	"k23/internal/pitfalls"
+)
+
+func main() {
+	table := flag.String("table", "", "regenerate a table: 2, 3, 5, 6, or all")
+	figure := flag.String("figure", "", "regenerate a figure's content: 1, 2, or 4")
+	claim := flag.String("claim", "", "measure a standalone claim: startup or p4b")
+	flag.Parse()
+
+	if *table == "" && *figure == "" && *claim == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b")
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	doTable := func(which string) {
+		switch which {
+		case "2":
+			run("Table 2 — offline-phase unique syscall sites", func() error {
+				rows, err := bench.Table2()
+				if err != nil {
+					return err
+				}
+				fmt.Print(bench.FormatTable2(rows))
+				return nil
+			})
+		case "3":
+			run("Table 3 — pitfall matrix", func() error {
+				results, err := pitfalls.Matrix(variants.Table3Columns())
+				if err != nil {
+					return err
+				}
+				fmt.Print(pitfalls.FormatMatrix(results))
+				return nil
+			})
+		case "5":
+			run("Table 5 — microbenchmark overhead vs native", func() error {
+				rows, err := bench.Table5()
+				if err != nil {
+					return err
+				}
+				fmt.Print(bench.FormatTable5(rows))
+				return nil
+			})
+		case "6":
+			run("Table 6 — macrobenchmark relative throughput", func() error {
+				rows, err := bench.Table6()
+				if err != nil {
+					return err
+				}
+				fmt.Print(bench.FormatTable6(rows))
+				return nil
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "benchtab: unknown table %q\n", which)
+			os.Exit(2)
+		}
+	}
+
+	switch *table {
+	case "":
+	case "all":
+		for _, t := range []string{"2", "3", "5", "6"} {
+			doTable(t)
+		}
+	default:
+		doTable(*table)
+	}
+
+	switch *figure {
+	case "":
+	case "1":
+		run("Figure 1 — misidentification anatomy", func() error {
+			fmt.Print(bench.Figure1())
+			return nil
+		})
+	case "2":
+		run("Figure 2 — offline phase flow", func() error {
+			s, err := bench.Figure2()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+			return nil
+		})
+	case "4":
+		run("Figure 4 — online phase flow", func() error {
+			s, err := bench.Figure4()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+			return nil
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown figure %q (3 is `k23-offline ls`)\n", *figure)
+		os.Exit(2)
+	}
+
+	switch *claim {
+	case "":
+	case "startup":
+		run("Claim — startup syscalls before interposition (§6.1)", func() error {
+			s, err := bench.ClaimStartup()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+			return nil
+		})
+	case "p4b":
+		run("Claim — NULL-exec check memory overhead (P4b)", func() error {
+			s, err := bench.ClaimP4b()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+			return nil
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown claim %q\n", *claim)
+		os.Exit(2)
+	}
+}

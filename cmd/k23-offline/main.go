@@ -1,0 +1,117 @@
+// Command k23-offline runs K23's offline profiling phase (paper §5.1) on
+// a workload and prints the resulting (region, offset) log — the Figure 3
+// artifact.
+//
+// Usage:
+//
+//	k23-offline [-dir /var/k23/logs] [-requests N] PROG [ARGS...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"k23/internal/apps"
+	"k23/internal/core"
+	"k23/internal/interpose"
+)
+
+func main() {
+	dir := flag.String("dir", "/var/k23/logs", "log directory (sealed immutable afterwards)")
+	requests := flag.Int("requests", 40, "requests to drive through server workloads")
+	engine := flag.String("engine", "sud", "libLogger engine: sud or seccomp")
+	static := flag.Bool("static", false, "augment the log with symbol-anchored static analysis of libc")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: k23-offline [-dir DIR] [-requests N] PROG [ARGS...]")
+		os.Exit(2)
+	}
+	paths := map[string]string{
+		"pwd": apps.PwdPath, "touch": apps.TouchPath, "ls": apps.LsPath,
+		"cat": apps.CatPath, "clear": apps.ClearPath, "nginx": apps.NginxPath,
+		"lighttpd": apps.LighttpdPath, "redis-server": apps.RedisPath,
+		"sqlite3": apps.SqlitePath,
+	}
+	path := args[0]
+	if !strings.HasPrefix(path, "/") {
+		p, ok := paths[path]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "k23-offline: unknown program %q\n", path)
+			os.Exit(2)
+		}
+		path = p
+	}
+	argv := args
+	if len(argv) == 1 {
+		switch path {
+		case apps.TouchPath:
+			argv = append(argv, "/data/new.txt")
+		case apps.LsPath:
+			argv = append(argv, "/data")
+		case apps.CatPath:
+			argv = append(argv, "/data/notes.txt")
+		case apps.NginxPath, apps.LighttpdPath:
+			argv = append(argv, "0")
+		case apps.RedisPath:
+			argv = append(argv, "1")
+		}
+	}
+
+	w := interpose.NewWorld()
+	apps.RegisterAll(w.Reg)
+	if err := apps.SetupFS(w.K.FS); err != nil {
+		fmt.Fprintln(os.Stderr, "k23-offline:", err)
+		os.Exit(1)
+	}
+
+	off := &core.Offline{LogDir: *dir, Engine: *engine}
+	run, err := off.Start(w, path, argv, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k23-offline:", err)
+		os.Exit(1)
+	}
+	// Drive server workloads with a representative request stream.
+	isServer := path == apps.NginxPath || path == apps.LighttpdPath || path == apps.RedisPath
+	if isServer {
+		req := make([]byte, apps.RequestSize)
+		port := apps.BasePort + run.Process().PID
+		for i := 0; i < 5000; i++ {
+			w.K.Run(10_000)
+			if err := w.K.InjectConn(port, req, *requests, nil); err == nil {
+				break
+			}
+		}
+	}
+	if err := w.K.RunUntilExit(run.Process(), 2_000_000_000); err != nil {
+		fmt.Fprintln(os.Stderr, "k23-offline: run:", err)
+		os.Exit(1)
+	}
+	n, err := run.Finish()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k23-offline: finish:", err)
+		os.Exit(1)
+	}
+	name := path[strings.LastIndexByte(path, '/')+1:]
+	if *static {
+		added, err := core.AugmentStatic(w, off, name, []string{"/usr/lib/libc.so.6"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23-offline: augment:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# static augmentation added %d sites\n", added)
+		n += added
+	}
+	logPath := off.LogPath(name)
+	data, err := w.K.FS.ReadFile(logPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k23-offline: read log:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s — %d unique syscall/sysenter instructions (Figure 3 format)\n", logPath, n)
+	os.Stdout.Write(data)
+	fmt.Printf("# log directory sealed immutable: %v\n", w.K.FS.IsImmutable(*dir))
+}

@@ -1,0 +1,183 @@
+// Command k23 runs a workload binary on the simulated platform under a
+// chosen system call interposer, with optional strace-style tracing.
+//
+// Usage:
+//
+//	k23 [-variant NAME] [-trace] [-stats] PROG [ARGS...]
+//
+// PROG is one of the registered workloads (pwd, touch, ls, cat, clear,
+// nginx, lighttpd, redis-server, sqlite3) by basename or full path.
+// K23 variants automatically run the offline phase on the same
+// invocation first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"k23/internal/apps"
+	"k23/internal/core"
+	"k23/internal/interpose"
+	"k23/internal/interpose/variants"
+	"k23/internal/kernel"
+)
+
+var syscallNames = map[uint64]string{
+	kernel.SysRead: "read", kernel.SysWrite: "write", kernel.SysOpen: "open",
+	kernel.SysOpenat: "openat", kernel.SysClose: "close", kernel.SysStat: "stat",
+	kernel.SysFstat: "fstat", kernel.SysMmap: "mmap", kernel.SysMprotect: "mprotect",
+	kernel.SysMunmap: "munmap", kernel.SysRtSigaction: "rt_sigaction",
+	kernel.SysRtSigreturn: "rt_sigreturn", kernel.SysIoctl: "ioctl",
+	kernel.SysAccess: "access", kernel.SysSchedYield: "sched_yield",
+	kernel.SysMadvise: "madvise", kernel.SysGetpid: "getpid",
+	kernel.SysSocket: "socket", kernel.SysAccept: "accept", kernel.SysBind: "bind",
+	kernel.SysListen: "listen", kernel.SysClone: "clone", kernel.SysFork: "fork",
+	kernel.SysExecve: "execve", kernel.SysExit: "exit", kernel.SysExitGroup: "exit_group",
+	kernel.SysWait4: "wait4", kernel.SysUname: "uname", kernel.SysFcntl: "fcntl",
+	kernel.SysGetcwd: "getcwd", kernel.SysMkdir: "mkdir", kernel.SysUnlink: "unlink",
+	kernel.SysChmod: "chmod", kernel.SysGettimeofday: "gettimeofday",
+	kernel.SysGetuid: "getuid", kernel.SysPrctl: "prctl", kernel.SysGettid: "gettid",
+	kernel.SysTime: "time", kernel.SysFutex: "futex", kernel.SysEpollWait: "epoll_wait",
+	kernel.SysEpollCreate1: "epoll_create1", kernel.SysClockGettime: "clock_gettime",
+	kernel.SysGetrandom: "getrandom", kernel.SysPkeyMprotect: "pkey_mprotect",
+	kernel.SysPkeyAlloc: "pkey_alloc", kernel.SysPkeyFree: "pkey_free",
+	kernel.SysArchPrctl: "arch_prctl",
+}
+
+func sysName(nr uint64) string {
+	if n, ok := syscallNames[nr]; ok {
+		return n
+	}
+	return fmt.Sprintf("syscall_%d", nr)
+}
+
+// resolveProg maps a basename to a registered binary path.
+func resolveProg(name string) (string, []string, bool) {
+	paths := map[string]string{
+		"pwd": apps.PwdPath, "touch": apps.TouchPath, "ls": apps.LsPath,
+		"cat": apps.CatPath, "clear": apps.ClearPath, "nginx": apps.NginxPath,
+		"lighttpd": apps.LighttpdPath, "redis-server": apps.RedisPath,
+		"sqlite3": apps.SqlitePath,
+	}
+	if strings.HasPrefix(name, "/") {
+		return name, nil, true
+	}
+	p, ok := paths[name]
+	return p, nil, ok
+}
+
+// defaultArgs supplies workable arguments for workloads that need them.
+func defaultArgs(path string, argv []string) []string {
+	if len(argv) > 1 {
+		return argv
+	}
+	switch path {
+	case apps.TouchPath:
+		return append(argv, "/data/new.txt")
+	case apps.LsPath, apps.CatPath:
+		if path == apps.CatPath {
+			return append(argv, "/data/notes.txt")
+		}
+		return append(argv, "/data")
+	case apps.NginxPath, apps.LighttpdPath:
+		return append(argv, "0")
+	case apps.RedisPath:
+		return append(argv, "1")
+	}
+	return argv
+}
+
+func main() {
+	variant := flag.String("variant", "k23-ultra", "interposer variant (see -list)")
+	trace := flag.Bool("trace", false, "print every interposed system call")
+	stats := flag.Bool("stats", false, "print interposition statistics")
+	list := flag.Bool("list", false, "list interposer variants")
+	flag.Parse()
+
+	if *list {
+		for _, s := range variants.Specs() {
+			extra := ""
+			if s.ExtraFeatures != "" {
+				extra = " (" + s.ExtraFeatures + ")"
+			}
+			fmt.Printf("  %s%s\n", s.Name, extra)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: k23 [-variant NAME] [-trace] [-stats] PROG [ARGS...]")
+		os.Exit(2)
+	}
+	path, _, ok := resolveProg(args[0])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "k23: unknown program %q\n", args[0])
+		os.Exit(2)
+	}
+	argv := defaultArgs(path, args)
+
+	spec, ok := variants.ByName(*variant)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "k23: unknown variant %q (try -list)\n", *variant)
+		os.Exit(2)
+	}
+
+	w := interpose.NewWorld()
+	apps.RegisterAll(w.Reg)
+	if err := apps.SetupFS(w.K.FS); err != nil {
+		fmt.Fprintln(os.Stderr, "k23:", err)
+		os.Exit(1)
+	}
+
+	logPath := ""
+	if spec.NeedsOfflineLog {
+		off := &core.Offline{LogDir: "/var/k23/logs"}
+		run, err := off.Start(w, path, argv, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: offline:", err)
+			os.Exit(1)
+		}
+		_ = w.K.RunUntilExit(run.Process(), 500_000_000)
+		n, err := run.Finish()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: offline:", err)
+			os.Exit(1)
+		}
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		logPath = off.LogPath(name)
+		fmt.Fprintf(os.Stderr, "[offline] %d unique syscall sites logged to %s\n", n, logPath)
+	}
+
+	cfg := interpose.Config{}
+	if *trace {
+		cfg.Hook = func(c *interpose.Call) (uint64, bool) {
+			fmt.Fprintf(os.Stderr, "[%s] %s(%#x, %#x, %#x) @%#x\n",
+				c.Mechanism, sysName(c.Num), c.Args[0], c.Args[1], c.Args[2], c.Site)
+			return 0, false
+		}
+	}
+	l := spec.New(cfg, logPath)
+	p, err := l.Launch(w, path, argv, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k23: launch:", err)
+		os.Exit(1)
+	}
+	if err := w.K.RunUntilExit(p, 2_000_000_000); err != nil {
+		fmt.Fprintln(os.Stderr, "k23: run:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(p.Stdout)
+	os.Stderr.Write(p.Stderr)
+	fmt.Fprintf(os.Stderr, "[%s] %s\n", l.Name(), p.Exit)
+	if *stats {
+		st := l.Stats(p)
+		fmt.Fprintf(os.Stderr, "interposed: %d ptrace, %d rewritten, %d sud; %d sites rewritten\n",
+			st.Ptraced, st.Rewritten, st.SUD, st.Sites)
+	}
+	if p.Exit.Signal != 0 {
+		os.Exit(128 + p.Exit.Signal)
+	}
+	os.Exit(p.Exit.Code)
+}

@@ -1,0 +1,74 @@
+// Command pitfalls runs the System Call Interposition Pitfalls PoC suite
+// (paper §4) against the interposers and prints the Table 3 matrix.
+//
+// Usage:
+//
+//	pitfalls            # the paper's three columns
+//	pitfalls -all       # every variant
+//	pitfalls -poc P3b   # a single PoC with details
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"k23/internal/interpose/variants"
+	"k23/internal/pitfalls"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every interposer variant, not just the Table 3 columns")
+	onePoc := flag.String("poc", "", "run a single PoC (P1a..P5) and print details")
+	flag.Parse()
+
+	specs := variants.Table3Columns()
+	if *all {
+		specs = nil
+		for _, s := range variants.Specs() {
+			switch s.Name {
+			case "native", "sud-no-interposition", "ptrace", "sud":
+				continue
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	if *onePoc != "" {
+		for _, poc := range pitfalls.All() {
+			if poc.ID != *onePoc {
+				continue
+			}
+			fmt.Printf("%s — %s\n", poc.ID, poc.Title)
+			for _, spec := range specs {
+				handled, detail, err := poc.Run(spec)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "  %-18s ERROR: %v\n", spec.Name, err)
+					continue
+				}
+				mark := "not handled"
+				if handled {
+					mark = "HANDLED"
+				}
+				fmt.Printf("  %-18s %-12s %s\n", spec.Name, mark, detail)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "pitfalls: unknown PoC %q\n", *onePoc)
+		os.Exit(2)
+	}
+
+	fmt.Println("System Call Interposition Pitfalls (paper Table 3)")
+	fmt.Println("YES = pitfall handled or not applicable; no = vulnerable")
+	fmt.Println()
+	results, err := pitfalls.Matrix(specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pitfalls:", err)
+		os.Exit(1)
+	}
+	fmt.Print(pitfalls.FormatMatrix(results))
+	fmt.Println()
+	for _, poc := range pitfalls.All() {
+		fmt.Printf("  %-4s %s\n", poc.ID, poc.Title)
+	}
+}

@@ -1,0 +1,3 @@
+module k23
+
+go 1.22

@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"k23/internal/interpose/variants"
+)
+
+func TestProfileOneConfig(t *testing.T) {
+	cfg := MacroConfigs()[0] // nginx 1w 0KB
+	for _, name := range []string{"native", "sud", "k23-ultra"} {
+		spec, _ := variants.ByName(name)
+		start := time.Now()
+		c, err := cyclesPerRequest(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %.0f cycles/req in %v", name, c, time.Since(start))
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"k23/internal/disasm"
+	"k23/internal/image"
+	"k23/internal/interpose"
+	"k23/internal/mem"
+)
+
+// AugmentStatic widens an offline log with symbol-anchored static
+// disassembly of the named images — the dynamic+static combination the
+// paper proposes for workloads without comprehensive benchmark suites
+// (§7). Unlike zpoline's region-wide linear sweep, the symbol-anchored
+// sweep re-synchronizes at every function entry and never guesses across
+// undecodable bytes, so it adds no misidentified sites; K23's online
+// byte validation remains the final gate regardless.
+//
+// It returns the number of entries added. The log directory's immutable
+// seal is lifted for the merge and restored afterwards.
+func AugmentStatic(w *interpose.World, o *Offline, progName string, imagePaths []string) (int, error) {
+	fs := w.K.FS
+	logPath := o.LogPath(progName)
+	data, err := fs.ReadFile(logPath)
+	if err != nil {
+		return 0, fmt.Errorf("core: augment: %w", err)
+	}
+	entries, err := ParseLog(data)
+	if err != nil {
+		return 0, err
+	}
+	have := make(map[LogEntry]bool, len(entries))
+	for _, e := range entries {
+		have[e] = true
+	}
+
+	added := 0
+	for _, path := range imagePaths {
+		img, ok := w.Reg.Lookup(path)
+		if !ok {
+			return 0, fmt.Errorf("core: augment: image %s not registered", path)
+		}
+		for _, e := range staticSites(img) {
+			if !have[e] {
+				have[e] = true
+				entries = append(entries, e)
+				added++
+			}
+		}
+	}
+	if added == 0 {
+		return 0, nil
+	}
+
+	sealed := fs.IsImmutable(o.LogDir)
+	if sealed {
+		if err := fs.SetImmutable(o.LogDir, false); err != nil {
+			return 0, err
+		}
+	}
+	if err := fs.WriteFile(logPath, FormatLog(entries), 0o6); err != nil {
+		return 0, err
+	}
+	if err := fs.SetImmutable(o.LogDir, true); err != nil {
+		return 0, err
+	}
+	return added, nil
+}
+
+// staticSites runs the symbol-anchored sweep over an image's executable
+// sections and returns (region, offset) entries.
+func staticSites(img *image.Image) []LogEntry {
+	var out []LogEntry
+	for _, sec := range img.Sections {
+		if sec.Perm&mem.PermExec == 0 {
+			continue
+		}
+		var syms []uint64
+		for _, off := range img.Symbols {
+			if off >= sec.Off && off < sec.Off+sec.Size {
+				syms = append(syms, off-sec.Off)
+			}
+		}
+		for _, s := range disasm.SymbolSweep(sec.Data, 0, syms) {
+			out = append(out, LogEntry{Region: img.Path, Offset: sec.Off + s.Addr})
+		}
+	}
+	return out
+}

@@ -1,0 +1,729 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"k23/internal/asm"
+	"k23/internal/cpu"
+	"k23/internal/image"
+	"k23/internal/interpose"
+	"k23/internal/kernel"
+	"k23/internal/libc"
+	"k23/internal/loader"
+	"k23/internal/mem"
+	"k23/internal/robinset"
+	"k23/internal/sud"
+)
+
+// Fake system call numbers used for the ptracer<->libK23 handoff (§5.3).
+// They do not exist in the kernel; the ptracer recognizes and suppresses
+// them, and they fail harmlessly with ENOSYS if no tracer is attached.
+const (
+	FakeSyscallHandoff = 600
+	FakeSyscallDetach  = 601
+)
+
+// LogEnvVar tells libK23 where the offline log lives.
+const LogEnvVar = "K23_LOG"
+
+// Hostcall ids used by libK23.
+const (
+	hcSigsys int32 = 130
+	hcEnter  int32 = 131
+	hcExit   int32 = 132
+)
+
+// Cost knobs (cycles), calibrated against Table 5; see EXPERIMENTS.md.
+const (
+	// RobinCheckCost is one robin-set membership test: pricier than
+	// zpoline's bitmap probe — the deliberate memory-for-time trade
+	// (§6.2.1).
+	RobinCheckCost = 23
+	enterCost      = 0
+	exitCost       = 2
+	sigsysCost     = 40
+)
+
+// K23 is the Launcher for the paper's interposer.
+type K23 struct {
+	Config interpose.Config
+	// LogPath is the offline-phase log consumed by the single selective
+	// rewriting step. Empty means "no rewriting": every syscall takes
+	// the SUD fallback.
+	LogPath string
+	img     *image.Image
+}
+
+// New returns a K23 launcher. Variant selection follows Table 4:
+// Config{} is K23-default, NullExecCheck is K23-ultra, NullExecCheck+
+// StackSwitch is K23-ultra+.
+func New(cfg interpose.Config, logPath string) *K23 {
+	k := &K23{Config: cfg, LogPath: logPath}
+	k.img = k.buildLibrary()
+	return k
+}
+
+// Name implements interpose.Launcher.
+func (z *K23) Name() string {
+	switch {
+	case z.Config.StackSwitch && z.Config.NullExecCheck:
+		return "k23-ultra+"
+	case z.Config.NullExecCheck:
+		return "k23-ultra"
+	default:
+		return "k23-default"
+	}
+}
+
+// LibraryPath is libK23's path.
+func (z *K23) LibraryPath() string { return "/usr/lib/libk23.so" }
+
+// state is the per-process interposer state.
+type state struct {
+	k23          *K23
+	stats        interpose.Stats
+	tracer       *k23Tracer
+	selectorAddr uint64
+	frameAddr    uint64
+	doSyscall    uint64
+	sites        *robinset.Set
+	truth        map[uint64]bool
+	last         map[int]*interpose.Call
+	// StartupSyscalls is the handoff payload received from the ptracer.
+	StartupSyscalls uint64
+}
+
+func stateOf(p *kernel.Process) (*state, error) {
+	st, ok := p.Interposer.(*state)
+	if !ok {
+		return nil, fmt.Errorf("k23: process %d not interposed", p.PID)
+	}
+	return st, nil
+}
+
+// Launch implements interpose.Launcher: attach the ptracer, disable the
+// vdso, force LD_PRELOAD injection, and start the program. The online
+// phase then unfolds: ptracer covers startup, libK23's constructor takes
+// the handoff and detaches it, and steady state runs on rewrite + SUD.
+func (z *K23) Launch(w *interpose.World, path string, argv, env []string) (*kernel.Process, error) {
+	if _, ok := w.Reg.Lookup(z.LibraryPath()); !ok {
+		w.Reg.MustAdd(z.img)
+	}
+	env = kernel.SetEnv(append([]string(nil), env...), loader.LdPreloadVar, z.LibraryPath())
+	if z.LogPath != "" {
+		env = kernel.SetEnv(env, LogEnvVar, z.LogPath)
+	}
+	tr := &k23Tracer{k23: z, w: w}
+	return w.L.Spawn(path, argv, env,
+		loader.WithTracer(tr),
+		loader.WithDisableVDSO(),
+		loader.WithPreInit(func(p *kernel.Process, t *kernel.Thread) error {
+			tr.proc = p
+			return nil
+		}),
+	)
+}
+
+// Stats implements interpose.Launcher.
+func (z *K23) Stats(p *kernel.Process) *interpose.Stats {
+	st, err := stateOf(p)
+	if err != nil {
+		return &interpose.Stats{}
+	}
+	return &st.stats
+}
+
+var _ interpose.Launcher = (*K23)(nil)
+
+// StartupSyscalls returns the count the ptracer handed off (E7's
+// measurement surface).
+func (z *K23) StartupSyscalls(p *kernel.Process) uint64 {
+	st, err := stateOf(p)
+	if err != nil {
+		return 0
+	}
+	return st.StartupSyscalls
+}
+
+// ---------------------------------------------------------------------
+// ptracer component ("ptracer" row of Table 1)
+// ---------------------------------------------------------------------
+
+// k23Tracer interposes everything before and during library loading,
+// enforces LD_PRELOAD across execve (P1a), services the fake-syscall
+// handoff, and detaches on request.
+type k23Tracer struct {
+	k23     *K23
+	w       *interpose.World
+	proc    *kernel.Process
+	syscalls uint64
+	last    map[int]*interpose.Call
+}
+
+var _ kernel.Tracer = (*k23Tracer)(nil)
+
+// SyscallEnter implements kernel.Tracer.
+func (tr *k23Tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site uint64) bool {
+	switch nr {
+	case FakeSyscallHandoff:
+		// libK23 passes the address of its handoff block in arg0; the
+		// ptracer transfers its accumulated state there via the
+		// process_vm_writev-style kernel plane (§5.3). The call must
+		// originate from libK23, not from potentially compromised code.
+		regs := k.TraceeRegs(t)
+		if !tr.fromLibK23(t, site) {
+			regs.R[cpu.RAX] = ^uint64(0) // -EPERM-ish; refuse
+			return true
+		}
+		dst := regs.Arg(0)
+		buf := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(tr.syscalls >> (8 * i))
+		}
+		_ = k.TraceePoke(t, dst, buf)
+		if st, err := stateOf(t.Proc); err == nil {
+			st.stats.Ptraced = tr.syscalls
+		}
+		regs.R[cpu.RAX] = 0
+		return true
+	case FakeSyscallDetach:
+		regs := k.TraceeRegs(t)
+		if !tr.fromLibK23(t, site) {
+			regs.R[cpu.RAX] = ^uint64(0)
+			return true
+		}
+		k.DetachTracer(t.Proc)
+		regs.R[cpu.RAX] = 0
+		return true
+	}
+
+	tr.syscalls++
+	if tr.k23.Config.Hook == nil {
+		return false
+	}
+	regs := k.TraceeRegs(t)
+	call := &interpose.Call{
+		Kernel: k, Thread: t, Num: nr, Site: site, Mechanism: interpose.MechPtrace,
+	}
+	for i := range call.Args {
+		call.Args[i] = regs.Arg(i)
+	}
+	if tr.last == nil {
+		tr.last = make(map[int]*interpose.Call)
+	}
+	tr.last[t.TID] = call
+	ret, emulated := tr.k23.Config.Hook(call)
+	if emulated {
+		regs.R[cpu.RAX] = ret
+		return true
+	}
+	regs.R[cpu.RAX] = call.Num
+	for i, a := range call.Args {
+		regs.SetArg(i, a)
+	}
+	return false
+}
+
+// fromLibK23 verifies that a fake syscall's site lies inside libK23's
+// mapping — the §5.3 origin check.
+func (tr *k23Tracer) fromLibK23(t *kernel.Thread, site uint64) bool {
+	r, ok := t.Proc.AS.RegionAt(site)
+	return ok && (r.Name == tr.k23.LibraryPath() || r.Name == loader.LdsoPath)
+}
+
+// SyscallExit implements kernel.Tracer.
+func (tr *k23Tracer) SyscallExit(k *kernel.Kernel, t *kernel.Thread, nr, ret uint64) {
+	if tr.k23.Config.ResultHook == nil || tr.last == nil {
+		return
+	}
+	call := tr.last[t.TID]
+	if call == nil {
+		return
+	}
+	newRet := tr.k23.Config.ResultHook(call, ret)
+	if newRet != ret {
+		k.TraceeRegs(t).R[cpu.RAX] = newRet
+	}
+}
+
+// Execve implements kernel.Tracer: if LD_PRELOAD no longer carries
+// libK23 — attacker scrubbing or benign empty environments (Listing 1) —
+// the ptracer overwrites it, defeating P1a.
+func (tr *k23Tracer) Execve(k *kernel.Kernel, t *kernel.Thread, path string, argv, env []string) []string {
+	newEnv := append([]string(nil), env...)
+	if cur, ok := kernel.GetEnv(newEnv, loader.LdPreloadVar); !ok || !strings.Contains(cur, tr.k23.LibraryPath()) {
+		newEnv = kernel.SetEnv(newEnv, loader.LdPreloadVar, tr.k23.LibraryPath())
+	}
+	if tr.k23.LogPath != "" {
+		if _, ok := kernel.GetEnv(newEnv, LogEnvVar); !ok {
+			newEnv = kernel.SetEnv(newEnv, LogEnvVar, tr.k23.LogPath)
+		}
+	}
+	tr.syscalls = 0 // fresh program image: restart the startup count
+	return newEnv
+}
+
+// ---------------------------------------------------------------------
+// libK23 (in-process component, Table 1)
+// ---------------------------------------------------------------------
+
+// buildLibrary assembles libk23.so.
+func (z *K23) buildLibrary() *image.Image {
+	b := asm.NewBuilder(z.LibraryPath())
+	b.Needed(libc.Path)
+
+	d := b.Data()
+	d.Label("k23_selector").Raw(kernel.SelectorAllow)
+	d.Align(8)
+	d.Label("k23_frame").Space(7 * 8)
+	d.Label("k23_handoff").Space(8)
+
+	t := b.Text()
+
+	// k23_tramp: fast path for rewritten sites. Unlike zpoline and
+	// lazypoline, K23 does not preserve RCX/R11 — the kernel clobbers
+	// them during syscall execution anyway (§6.2.1), so the trampoline
+	// reuses them as scratch.
+	t.Label("k23_tramp")
+	t.MovImmSym(cpu.R11, "k23_selector")
+	t.MovImm32(cpu.RCX, kernel.SelectorAllow)
+	t.StoreB(cpu.R11, 0, cpu.RCX)
+	t.Hostcall(hcEnter) // NULL-exec robin-set check (ultra) + hook
+	if z.Config.StackSwitch {
+		// Dedicated per-thread interposer stack (ultra+, §5.3). The TLS
+		// block holds {saved rsp, alt-stack top}.
+		t.Rdfsbase(cpu.RCX)
+		t.Store(cpu.RCX, 0, cpu.RSP)
+		t.Load(cpu.RSP, cpu.RCX, 8)
+	}
+	t.Test(cpu.R11, cpu.R11)
+	t.Jnz(".k23_skip")
+	t.Syscall()
+	t.Label(".k23_skip")
+	if z.Config.ResultHook != nil {
+		t.Hostcall(hcExit)
+	}
+	if z.Config.StackSwitch {
+		t.Rdfsbase(cpu.RCX)
+		t.Load(cpu.RSP, cpu.RCX, 0)
+	}
+	t.MovImmSym(cpu.R11, "k23_selector")
+	t.MovImm32(cpu.RCX, kernel.SelectorBlock)
+	t.StoreB(cpu.R11, 0, cpu.RCX)
+	t.Ret()
+
+	// k23_sigsys: the SUD fallback for sites the offline phase missed.
+	// Unlike lazypoline it NEVER rewrites — rewriting is restricted to
+	// pre-validated sites in the single init-time step (§5.2).
+	t.Label("k23_sigsys")
+	t.Hostcall(hcSigsys)
+	t.MovImm32(cpu.RAX, kernel.SysRtSigreturn)
+	t.Syscall()
+
+	// k23_do_syscall: frame-based gate inside the allowlisted range.
+	t.Label("k23_do_syscall")
+	t.MovImmSym(cpu.R11, "k23_frame")
+	t.Load(cpu.RAX, cpu.R11, 0)
+	t.Load(cpu.RDI, cpu.R11, 8)
+	t.Load(cpu.RSI, cpu.R11, 16)
+	t.Load(cpu.RDX, cpu.R11, 24)
+	t.Load(cpu.R10, cpu.R11, 32)
+	t.Load(cpu.R8, cpu.R11, 40)
+	t.Load(cpu.R9, cpu.R11, 48)
+	t.Syscall()
+	t.Ret()
+
+	// k23_serialize: CPUID after the rewriting step — principled
+	// cross-modifying-code hygiene (contrast with lazypoline's P5).
+	t.Label("k23_serialize")
+	t.Cpuid()
+	t.Ret()
+
+	// k23_set_pkru(value).
+	t.Label("k23_set_pkru")
+	t.Mov(cpu.RAX, cpu.RDI)
+	t.Wrpkru()
+	t.Ret()
+
+	// k23_set_fsbase(value): install the per-thread TLS block.
+	t.Label("k23_set_fsbase")
+	t.Wrfsbase(cpu.RDI)
+	t.Ret()
+
+	// k23_fake_syscall(nr, arg): issues the ptracer handoff calls from
+	// inside libK23 (the origin the ptracer verifies).
+	t.Label("k23_fake_syscall")
+	t.Mov(cpu.RAX, cpu.RDI)
+	t.Mov(cpu.RDI, cpu.RSI)
+	t.Syscall()
+	t.Ret()
+
+	b.InitHost(z.initHost)
+	return b.MustBuild()
+}
+
+// initHost is libK23's constructor: handoff, detach, trampoline,
+// selective rewrite, SUD fallback.
+func (z *K23) initHost(h any, base uint64) error {
+	ih, ok := h.(*loader.InitHandle)
+	if !ok {
+		return fmt.Errorf("k23: unexpected init handle %T", h)
+	}
+	k, p, t := ih.L.K, ih.P, ih.T
+
+	st := &state{
+		k23:   z,
+		sites: robinset.New(128),
+		last:  make(map[int]*interpose.Call),
+	}
+	p.Interposer = st
+	sym := func(name string) uint64 {
+		off, _ := z.img.SymbolOff(name)
+		return base + off
+	}
+	st.selectorAddr = sym("k23_selector")
+	st.frameAddr = sym("k23_frame")
+	st.doSyscall = sym("k23_do_syscall")
+	st.truth = ih.L.TrueSites(p)
+
+	k.RegisterHostcall(p, hcSigsys, &kernel.Hostcall{Name: "k23_sigsys", Cost: sigsysCost, Fn: z.hcSigsysFn})
+	k.RegisterHostcall(p, hcEnter, &kernel.Hostcall{Name: "k23_enter", Cost: enterCost, Fn: z.hcEnterFn})
+	k.RegisterHostcall(p, hcExit, &kernel.Hostcall{Name: "k23_exit", Cost: exitCost, Fn: z.hcExitFn})
+
+	// 1. Fake-syscall handoff: the ptracer pokes its accumulated state
+	// (startup syscall count) into k23_handoff, then detaches.
+	if _, err := k.CallGuest(t, sym("k23_fake_syscall"),
+		[6]uint64{FakeSyscallHandoff, sym("k23_handoff")}); err != nil {
+		return err
+	}
+	if v, err := p.AS.KLoadU64(sym("k23_handoff")); err == nil {
+		st.StartupSyscalls = v
+	}
+	if _, err := k.CallGuest(t, sym("k23_fake_syscall"), [6]uint64{FakeSyscallDetach}); err != nil {
+		return err
+	}
+
+	gate := ih.Gate()
+	sys := func(nr uint64, args ...uint64) (uint64, error) {
+		var a [6]uint64
+		a[0] = nr
+		copy(a[1:], args)
+		return k.CallGuest(t, gate, a)
+	}
+
+	// 2. Trampoline at 0 with PKU-XOM (as zpoline/lazypoline, §5.3).
+	ret, err := sys(kernel.SysMmap, 0, mem.PageSize,
+		kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec, kernel.MapFixed)
+	if err != nil || ret != 0 {
+		return fmt.Errorf("k23: trampoline mmap -> %#x, %v", ret, err)
+	}
+	tramp := make([]byte, 0, 512+12)
+	for i := 0; i < 512; i++ {
+		tramp = append(tramp, cpu.ByteNop)
+	}
+	tramp = append(tramp, cpu.EncodeInst(cpu.Inst{Op: cpu.OpMovImm, A: cpu.R11, Imm: int64(sym("k23_tramp"))})...)
+	tramp = append(tramp, cpu.EncodeInst(cpu.Inst{Op: cpu.OpJmpReg, A: cpu.R11})...)
+	if err := t.Core.StoreAsSelf(0, tramp); err != nil {
+		return err
+	}
+	key, err := sys(kernel.SysPkeyAlloc)
+	if err != nil {
+		return err
+	}
+	if _, err := sys(kernel.SysPkeyMprotect, 0, mem.PageSize,
+		kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec, key); err != nil {
+		return err
+	}
+	pkru := uint64(mem.PKRU(0).DenyAccess(int(key)))
+	if _, err := k.CallGuest(t, sym("k23_set_pkru"), [6]uint64{pkru}); err != nil {
+		return err
+	}
+
+	// 3. Dedicated per-thread stack (ultra+): a TLS block per thread
+	// holding {saved rsp, alt-stack top}.
+	if z.Config.StackSwitch {
+		tls, err := sys(kernel.SysMmap, 0, mem.PageSize, kernel.ProtRead|kernel.ProtWrite, 0)
+		if err != nil {
+			return err
+		}
+		stk, err := sys(kernel.SysMmap, 0, 4*mem.PageSize, kernel.ProtRead|kernel.ProtWrite, 0)
+		if err != nil {
+			return err
+		}
+		if e, isE := kernel.IsErr(stk); isE {
+			return fmt.Errorf("k23: alt stack mmap: errno %d", e)
+		}
+		if err := p.AS.KStoreU64(tls+8, stk+4*mem.PageSize-64); err != nil {
+			return err
+		}
+		if _, err := k.CallGuest(t, sym("k23_set_fsbase"), [6]uint64{tls}); err != nil {
+			return err
+		}
+	}
+
+	// 4. Single selective rewrite of offline-validated sites.
+	if err := z.rewriteLoggedSites(ih, st, sys, base); err != nil {
+		return err
+	}
+	// Serialize the instruction stream after rewriting (CPUID).
+	if _, err := k.CallGuest(t, sym("k23_serialize"), [6]uint64{}); err != nil {
+		return err
+	}
+	st.stats.Sites = st.sites.Len()
+	st.stats.MemResidentBytes = st.sites.MemBytes()
+
+	// 5. SUD fallback: catches everything the offline phase missed
+	// (P2a); never rewrites.
+	if _, err := sys(kernel.SysRtSigaction, kernel.SIGSYS, sym("k23_sigsys")); err != nil {
+		return err
+	}
+	text, _ := z.img.Section(".text")
+	if _, err := sys(kernel.SysPrctl, kernel.PrSetSyscallUserDispatch, kernel.PrSysDispatchOn,
+		base+text.Off, text.Size, st.selectorAddr); err != nil {
+		return err
+	}
+	return p.AS.Store(st.selectorAddr, []byte{kernel.SelectorBlock}, t.Core.PKRU)
+}
+
+// rewriteLoggedSites maps (region, offset) log entries to addresses,
+// validates each holds a genuine SYSCALL/SYSENTER encoding, and rewrites
+// it with permissions saved/restored and an atomic two-byte store.
+func (z *K23) rewriteLoggedSites(ih *loader.InitHandle, st *state,
+	sys func(uint64, ...uint64) (uint64, error), base uint64) error {
+	if z.LogPath == "" {
+		return nil
+	}
+	k, p, t := ih.L.K, ih.P, ih.T
+	logName := z.LogPath
+	if v, ok := p.Getenv(LogEnvVar); ok {
+		logName = v
+	}
+	data, err := k.FS.ReadFile(logName)
+	if err != nil {
+		// Missing log: fall back to pure SUD interposition.
+		return nil
+	}
+	entries, err := ParseLog(data)
+	if err != nil {
+		return fmt.Errorf("k23: %w", err)
+	}
+
+	// Region name -> load base (lowest region start).
+	bases := make(map[string]uint64)
+	for _, r := range p.AS.Regions() {
+		if cur, ok := bases[r.Name]; !ok || r.Start < cur {
+			bases[r.Name] = r.Start
+		}
+	}
+
+	for _, e := range entries {
+		rb, ok := bases[e.Region]
+		if !ok {
+			continue // region not mapped in this run
+		}
+		addr := rb + e.Offset
+		// Pre-validation: the bytes must be a genuine syscall encoding;
+		// anything else means a stale or hostile log entry and is
+		// refused — no corrupting rewrites, ever (P3).
+		b, err := p.AS.KLoad(addr, 2)
+		if err != nil {
+			continue
+		}
+		if b[0] != cpu.BytePrefix0F || (b[1] != cpu.ByteSyscall2 && b[1] != cpu.ByteSysenter2) {
+			continue
+		}
+		perm, _, ok := p.AS.PermAt(addr)
+		if !ok {
+			continue
+		}
+		pageAddr := mem.PageBase(addr)
+		span := addr + uint64(cpu.SyscallInstLen) - pageAddr
+		if _, err := sys(kernel.SysMprotect, pageAddr, span,
+			kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec); err != nil {
+			return err
+		}
+		// Atomic two-byte store (contrast with lazypoline's torn pair).
+		if err := t.Core.StoreAsSelf(addr, cpu.CallRaxBytes); err != nil {
+			return err
+		}
+		if _, err := sys(kernel.SysMprotect, pageAddr, span, kernel.PermToProt(perm)); err != nil {
+			return err
+		}
+		st.sites.Insert(addr)
+	}
+	return nil
+}
+
+// guard aborts on attempts to tamper with SUD (P1b, §5.2) and re-attaches
+// the ptracer ahead of execve so the whole online phase repeats in the
+// new program image (§5.3).
+func (z *K23) guard(k *kernel.Kernel, t *kernel.Thread, call *interpose.Call, w worldRef) error {
+	switch call.Num {
+	case kernel.SysPrctl:
+		if call.Args[0] == kernel.PrSetSyscallUserDispatch {
+			return interpose.Abort(fmt.Sprintf(
+				"k23: prctl(PR_SET_SYSCALL_USER_DISPATCH, %d) from application code", call.Args[1]))
+		}
+	case kernel.SysExecve:
+		if k.Tracer(t.Proc) == nil {
+			tr := &k23Tracer{k23: z, proc: t.Proc}
+			_ = k.AttachTracer(t.Proc, tr)
+		}
+	}
+	return nil
+}
+
+// worldRef is a placeholder for future cross-world state.
+type worldRef struct{}
+
+// hcEnterFn: fast-path entry. Robin-set NULL-exec check (ultra), prctl
+// guard, user hook.
+func (z *K23) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
+	st, err := stateOf(t.Proc)
+	if err != nil {
+		return err
+	}
+	ctx := &t.Core.Ctx
+	// Stack: [rsp] = return address (K23 pushes nothing before the
+	// hostcall).
+	retAddr, err := t.Proc.AS.KLoadU64(ctx.R[cpu.RSP])
+	if err != nil {
+		return fmt.Errorf("k23: cannot read return address: %w", err)
+	}
+	site := retAddr - uint64(cpu.CallRegInstLen)
+
+	if z.Config.NullExecCheck {
+		t.ExtraCycles += RobinCheckCost
+		if !st.sites.Contains(site) {
+			st.stats.NullExecAborts++
+			return interpose.Abort(fmt.Sprintf("k23: trampoline entry from unknown site %#x", site))
+		}
+	}
+
+	st.stats.Rewritten++
+	call := &interpose.Call{
+		Kernel: k, Thread: t,
+		Num:       ctx.R[cpu.RAX],
+		Site:      site,
+		Mechanism: interpose.MechRewrite,
+	}
+	for i := range call.Args {
+		call.Args[i] = ctx.Arg(i)
+	}
+	if err := z.guard(k, t, call, worldRef{}); err != nil {
+		return err
+	}
+	st.last[t.TID] = call
+	if z.Config.Hook != nil {
+		if ret, emulated := z.Config.Hook(call); emulated {
+			ctx.R[cpu.RAX] = ret
+			ctx.R[cpu.R11] = 1
+			return nil
+		}
+		ctx.R[cpu.RAX] = call.Num
+		for i, a := range call.Args {
+			ctx.SetArg(i, a)
+		}
+	}
+	if call.Num == kernel.SysClone {
+		ctx.R[cpu.RAX] = interpose.EmulateClone(k, t, call.Args, retAddr, z.childSetup(k, t))
+		ctx.R[cpu.R11] = 1
+		return nil
+	}
+	ctx.R[cpu.R11] = 0
+	return nil
+}
+
+// childSetup gives clone children their own TLS block and dedicated
+// stack when the ultra+ stack switch is active.
+func (z *K23) childSetup(k *kernel.Kernel, t *kernel.Thread) func(*kernel.Thread) {
+	if !z.Config.StackSwitch {
+		return nil
+	}
+	return func(child *kernel.Thread) {
+		tls := k.DirectSyscall(t, kernel.SysMmap,
+			[6]uint64{0, mem.PageSize, kernel.ProtRead | kernel.ProtWrite})
+		stk := k.DirectSyscall(t, kernel.SysMmap,
+			[6]uint64{0, 4 * mem.PageSize, kernel.ProtRead | kernel.ProtWrite})
+		_ = t.Proc.AS.KStoreU64(tls+8, stk+4*mem.PageSize-64)
+		child.Core.TLS = tls
+	}
+}
+
+// hcExitFn: fast-path result hook.
+func (z *K23) hcExitFn(k *kernel.Kernel, t *kernel.Thread) error {
+	st, err := stateOf(t.Proc)
+	if err != nil {
+		return err
+	}
+	if z.Config.ResultHook == nil {
+		return nil
+	}
+	ctx := &t.Core.Ctx
+	call := st.last[t.TID]
+	if call == nil {
+		call = &interpose.Call{Kernel: k, Thread: t, Mechanism: interpose.MechRewrite}
+	}
+	ctx.R[cpu.RAX] = z.Config.ResultHook(call, ctx.R[cpu.RAX])
+	return nil
+}
+
+// hcSigsysFn: the SUD fallback handler body — hook, guard, execute,
+// result into the saved context. Never rewrites anything.
+func (z *K23) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
+	st, err := stateOf(t.Proc)
+	if err != nil {
+		return err
+	}
+	as := t.Proc.AS
+	ctx := &t.Core.Ctx
+	siginfoAddr := ctx.R[cpu.RSI]
+	uctxAddr := ctx.R[cpu.RDX]
+
+	nr, err := as.KLoadU64(siginfoAddr + kernel.SigInfoSyscall)
+	if err != nil {
+		return err
+	}
+	callAddr, err := as.KLoadU64(siginfoAddr + kernel.SigInfoCallAddr)
+	if err != nil {
+		return err
+	}
+	site := callAddr - uint64(cpu.SyscallInstLen)
+
+	call := &interpose.Call{Kernel: k, Thread: t, Num: nr, Site: site, Mechanism: interpose.MechSUD}
+	for i, r := range cpu.SyscallArgRegs {
+		v, err := as.KLoadU64(uctxAddr + kernel.UctxRegs + uint64(8*int(r)))
+		if err != nil {
+			return err
+		}
+		call.Args[i] = v
+	}
+	st.stats.SUD++
+	if err := z.guard(k, t, call, worldRef{}); err != nil {
+		return err
+	}
+
+	var ret uint64
+	emulated := false
+	if z.Config.Hook != nil {
+		ret, emulated = z.Config.Hook(call)
+	}
+	if !emulated {
+		if call.Num == kernel.SysClone {
+			ret = interpose.EmulateClone(k, t, call.Args, callAddr, z.childSetup(k, t))
+		} else {
+			ret, err = sud.ExecFrame(k, t, st.frameAddr, st.doSyscall, call.Num, call.Args)
+			if err == kernel.ErrGuestWouldBlock {
+				return as.KStoreU64(uctxAddr+kernel.UctxRIP, site)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if z.Config.ResultHook != nil {
+		ret = z.Config.ResultHook(call, ret)
+	}
+	return as.KStoreU64(uctxAddr+kernel.UctxRegs+uint64(8*int(cpu.RAX)), ret)
+}

@@ -1,0 +1,104 @@
+package image
+
+import (
+	"testing"
+
+	"k23/internal/mem"
+)
+
+func valid() *Image {
+	return &Image{
+		Path: "/t/x",
+		Sections: []Section{
+			{Name: ".text", Off: 0, Size: mem.PageSize, Data: []byte{0x90}, Perm: mem.PermRX},
+			{Name: ".data", Off: mem.PageSize, Size: mem.PageSize, Perm: mem.PermRW},
+		},
+		Symbols: map[string]uint64{"_start": 0},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Image)
+	}{
+		{"empty path", func(im *Image) { im.Path = "" }},
+		{"unaligned section", func(im *Image) { im.Sections[1].Off = 100 }},
+		{"data exceeds size", func(im *Image) { im.Sections[0].Data = make([]byte, mem.PageSize+1) }},
+		{"overlap", func(im *Image) { im.Sections[1].Off = 0 }},
+		{"symbol out of range", func(im *Image) { im.Symbols["bad"] = 1 << 40 }},
+		{"reloc out of range", func(im *Image) { im.Relocs = []Reloc{{Off: 1 << 40, Symbol: "x"}} }},
+		{"entry out of range", func(im *Image) { im.Entry = 1 << 40 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			im := valid()
+			c.mutate(im)
+			if err := im.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestSizeAndSection(t *testing.T) {
+	im := valid()
+	if im.Size() != 2*mem.PageSize {
+		t.Fatalf("Size = %d", im.Size())
+	}
+	if _, ok := im.Section(".text"); !ok {
+		t.Fatal("missing .text")
+	}
+	if _, ok := im.Section(".nope"); ok {
+		t.Fatal("phantom section")
+	}
+	if off, ok := im.SymbolOff("_start"); !ok || off != 0 {
+		t.Fatalf("SymbolOff = %d, %v", off, ok)
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	im := valid()
+	im.Symbols["zz"] = 5
+	im.Symbols["aa"] = 5
+	got := im.SortedSymbols()
+	if len(got) != 3 || got[0] != "_start" || got[1] != "aa" || got[2] != "zz" {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(valid()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("/t/x"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("/t/other"); ok {
+		t.Fatal("phantom image")
+	}
+	bad := valid()
+	bad.Path = ""
+	if err := r.Add(bad); err == nil {
+		t.Fatal("registry accepted invalid image")
+	}
+	if paths := r.Paths(); len(paths) != 1 || paths[0] != "/t/x" {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd did not panic on invalid image")
+		}
+	}()
+	NewRegistry().MustAdd(&Image{})
+}

@@ -1,0 +1,202 @@
+// Package interpose defines the common system call interposition API the
+// five interposers of this reproduction implement: the user-facing hook
+// types, launch configuration and variants (Table 4), per-process
+// statistics, and the World bundle that ties a kernel, loader and image
+// registry together.
+package interpose
+
+import (
+	"fmt"
+
+	"k23/internal/cpu"
+	"k23/internal/image"
+	"k23/internal/kernel"
+	"k23/internal/libc"
+	"k23/internal/loader"
+)
+
+// Mechanism says how a syscall reached the interposition code.
+type Mechanism uint8
+
+// Mechanisms.
+const (
+	MechNone    Mechanism = iota
+	MechRewrite           // zpoline-style rewritten call *%rax
+	MechSUD               // SIGSYS via Syscall User Dispatch
+	MechPtrace            // ptrace syscall-stop
+)
+
+func (m Mechanism) String() string {
+	switch m {
+	case MechRewrite:
+		return "rewrite"
+	case MechSUD:
+		return "sud"
+	case MechPtrace:
+		return "ptrace"
+	default:
+		return "none"
+	}
+}
+
+// Call is the state of one interposed system call, handed to hooks with
+// full expressiveness: registers, memory (via Thread), and the site that
+// triggered it.
+type Call struct {
+	Kernel    *kernel.Kernel
+	Thread    *kernel.Thread
+	Num       uint64
+	Args      [6]uint64 // modifications are applied before execution
+	Site      uint64    // address of the triggering instruction
+	Mechanism Mechanism
+}
+
+// Hook observes and optionally emulates a syscall. If emulated is true,
+// ret is returned to the application and the original call is not
+// executed. A nil Hook passes everything through — the "empty
+// interposition function" of the paper's methodology (§6.2).
+type Hook func(c *Call) (ret uint64, emulated bool)
+
+// ResultHook observes (and may rewrite) the result after execution.
+type ResultHook func(c *Call, ret uint64) uint64
+
+// Config is the user-facing interposer configuration.
+type Config struct {
+	Hook       Hook
+	ResultHook ResultHook
+
+	// NullExecCheck enables the defence against unintended control
+	// transfers into the page-zero trampoline (the -ultra variants,
+	// Table 4): entries whose return site is not a known rewritten
+	// syscall site abort the process (addresses P4a).
+	NullExecCheck bool
+
+	// StackSwitch makes the interposer run on a dedicated stack
+	// (K23-ultra+ only, paper §5.3).
+	StackSwitch bool
+}
+
+// Stats counts interposition activity for one process.
+type Stats struct {
+	// ByMechanism counts interposed syscalls per mechanism.
+	Rewritten uint64
+	SUD       uint64
+	Ptraced   uint64
+
+	// Sites is the number of rewritten syscall instruction sites.
+	Sites int
+
+	// Corruptions counts writes the interposer performed to locations
+	// that were NOT genuine syscall instructions (the P3 damage
+	// counter, maintained by the rewriting interposers).
+	Corruptions int
+
+	// NullExecAborts counts aborted unknown-origin trampoline entries.
+	NullExecAborts int
+
+	// PermClobbers counts pages whose permissions the interposer failed
+	// to restore faithfully after rewriting (lazypoline's P5 flaw: it
+	// assumes RX instead of saving the original).
+	PermClobbers int
+
+	// MemReservedBytes and MemResidentBytes estimate the footprint of
+	// the NULL-execution check structure (bitmap vs hash set; P4b).
+	MemReservedBytes uint64
+	MemResidentBytes uint64
+}
+
+// Total returns the total number of interposed syscalls.
+func (s *Stats) Total() uint64 { return s.Rewritten + s.SUD + s.Ptraced }
+
+// Launcher is the common entry point the benchmarks and examples drive:
+// an interposer launches a program under its supervision.
+type Launcher interface {
+	// Name identifies the interposer variant, e.g. "zpoline-default".
+	Name() string
+	// Launch starts the program interposed. The returned process is not
+	// yet run; drive it with World.K.RunUntilExit or World.K.Run.
+	Launch(w *World, path string, argv, env []string) (*kernel.Process, error)
+	// Stats returns interposition statistics for a launched process.
+	Stats(p *kernel.Process) *Stats
+}
+
+// World bundles a simulated machine: kernel, loader and image registry
+// with libc preregistered.
+type World struct {
+	K   *kernel.Kernel
+	L   *loader.Loader
+	Reg *image.Registry
+}
+
+// NewWorld creates a fresh world.
+func NewWorld() *World {
+	k := kernel.New()
+	reg := image.NewRegistry()
+	reg.MustAdd(libc.Image())
+	l := loader.New(k, reg)
+	return &World{K: k, L: l, Reg: reg}
+}
+
+// Run drives the process to completion with a generous budget.
+func (w *World) Run(p *kernel.Process) error {
+	return w.K.RunUntilExit(p, 500_000_000)
+}
+
+// MustRegister adds an image to the registry, panicking on structural
+// errors (static program definitions).
+func (w *World) MustRegister(im *image.Image) { w.Reg.MustAdd(im) }
+
+// LibcPath re-exports the libc path for convenience.
+const LibcPath = libc.Path
+
+// Native is the no-interposition baseline Launcher.
+type Native struct{}
+
+// Name implements Launcher.
+func (Native) Name() string { return "native" }
+
+// Launch implements Launcher: a plain spawn.
+func (Native) Launch(w *World, path string, argv, env []string) (*kernel.Process, error) {
+	return w.L.Spawn(path, argv, env)
+}
+
+// Stats implements Launcher: the native baseline interposes nothing.
+func (Native) Stats(p *kernel.Process) *Stats { return &Stats{} }
+
+var _ Launcher = Native{}
+
+// Abort builds the error an interposer hostcall returns to terminate the
+// process (the kernel converts hostcall errors into a process kill).
+func Abort(why string) error { return fmt.Errorf("interposer abort: %s", why) }
+
+// EmulateClone services a clone system call on behalf of an in-process
+// interposer. Executing clone from inside a handler is wrong: the child
+// inherits the handler-frame RIP but gets a fresh stack holding none of
+// the handler's frame, so it would pop garbage and return to address
+// zero. Every production rewriting interposer special-cases clone; so do
+// ours. The child is set up to resume directly at the application's
+// post-syscall address with the requested stack and RAX = 0.
+//
+// setupChild, if non-nil, runs on the new thread before it is first
+// scheduled (K23-ultra+ allocates the child's dedicated stack there).
+func EmulateClone(k *kernel.Kernel, t *kernel.Thread, args [6]uint64,
+	resumeRIP uint64, setupChild func(child *kernel.Thread)) uint64 {
+	ret := k.DirectSyscall(t, kernel.SysClone, args)
+	if _, isErr := kernel.IsErr(ret); isErr {
+		return ret
+	}
+	child := t.Proc.ThreadByTID(int(ret))
+	if child == nil {
+		return ret
+	}
+	ctx := &child.Core.Ctx
+	ctx.RIP = resumeRIP
+	if args[1] != 0 {
+		ctx.R[cpu.RSP] = args[1]
+	}
+	ctx.R[cpu.RAX] = 0 // the child's clone return value
+	if setupChild != nil {
+		setupChild(child)
+	}
+	return ret
+}

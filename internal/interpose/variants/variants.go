@@ -1,0 +1,131 @@
+// Package variants enumerates the interposer configurations compared in
+// the paper's evaluation (Tables 3-6): zpoline-default/-ultra,
+// lazypoline, SUD (active and no-interposition), ptrace, and the three
+// K23 variants of Table 4.
+package variants
+
+import (
+	"k23/internal/core"
+	"k23/internal/interpose"
+	"k23/internal/lazypoline"
+	"k23/internal/ptracer"
+	"k23/internal/sud"
+	"k23/internal/zpoline"
+)
+
+// Spec describes one interposer variant.
+type Spec struct {
+	// Name matches the paper's labels ("zpoline-default", "k23-ultra+",
+	// ...).
+	Name string
+	// NeedsOfflineLog is true for K23 variants: the caller must run the
+	// offline phase and pass the resulting log path to New.
+	NeedsOfflineLog bool
+	// ExtraFeatures summarizes the Table 4 feature deltas.
+	ExtraFeatures string
+	// New builds the launcher. logPath is ignored unless
+	// NeedsOfflineLog.
+	New func(cfg interpose.Config, logPath string) interpose.Launcher
+}
+
+// Specs returns every variant, in the paper's presentation order.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "native",
+			New: func(cfg interpose.Config, _ string) interpose.Launcher {
+				return interpose.Native{}
+			},
+		},
+		{
+			Name: "zpoline-default",
+			New: func(cfg interpose.Config, _ string) interpose.Launcher {
+				cfg.NullExecCheck = false
+				return zpoline.New(cfg)
+			},
+		},
+		{
+			Name:          "zpoline-ultra",
+			ExtraFeatures: "NULL Execution Check",
+			New: func(cfg interpose.Config, _ string) interpose.Launcher {
+				cfg.NullExecCheck = true
+				return zpoline.New(cfg)
+			},
+		},
+		{
+			Name: "lazypoline",
+			New: func(cfg interpose.Config, _ string) interpose.Launcher {
+				return lazypoline.New(cfg)
+			},
+		},
+		{
+			Name:            "k23-default",
+			NeedsOfflineLog: true,
+			New: func(cfg interpose.Config, logPath string) interpose.Launcher {
+				cfg.NullExecCheck = false
+				cfg.StackSwitch = false
+				return core.New(cfg, logPath)
+			},
+		},
+		{
+			Name:            "k23-ultra",
+			NeedsOfflineLog: true,
+			ExtraFeatures:   "NULL Execution Check",
+			New: func(cfg interpose.Config, logPath string) interpose.Launcher {
+				cfg.NullExecCheck = true
+				cfg.StackSwitch = false
+				return core.New(cfg, logPath)
+			},
+		},
+		{
+			Name:            "k23-ultra+",
+			NeedsOfflineLog: true,
+			ExtraFeatures:   "NULL Execution Check & Stack Switch",
+			New: func(cfg interpose.Config, logPath string) interpose.Launcher {
+				cfg.NullExecCheck = true
+				cfg.StackSwitch = true
+				return core.New(cfg, logPath)
+			},
+		},
+		{
+			Name: "sud",
+			New: func(cfg interpose.Config, _ string) interpose.Launcher {
+				return sud.New(cfg)
+			},
+		},
+		{
+			Name: "sud-no-interposition",
+			New: func(cfg interpose.Config, _ string) interpose.Launcher {
+				return sud.NewPassive()
+			},
+		},
+		{
+			Name: "ptrace",
+			New: func(cfg interpose.Config, _ string) interpose.Launcher {
+				return ptracer.New(cfg)
+			},
+		},
+	}
+}
+
+// ByName returns the named spec.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Table3Columns returns the three systems the pitfall matrix compares:
+// zpoline (with its NULL-execution check, as published), lazypoline, and
+// K23 in its full configuration.
+func Table3Columns() []Spec {
+	out := make([]Spec, 0, 3)
+	for _, name := range []string{"zpoline-ultra", "lazypoline", "k23-ultra+"} {
+		s, _ := ByName(name)
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,761 @@
+// Package kernel implements the simulated Linux kernel the K23
+// reproduction runs on: processes and threads over the cpu/mem substrate,
+// a deterministic preemptive scheduler, the x86-64 system call table
+// (numbers match Linux), POSIX-style signals with user-space handler
+// frames, Syscall User Dispatch (SUD), a host-level ptrace facility, PKU
+// system calls, a minimal localhost socket layer, and the calibrated
+// cycle-cost model that the paper-shape benchmarks are built on.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"k23/internal/cpu"
+	"k23/internal/mem"
+	"k23/internal/vfs"
+)
+
+// CostModel holds the cycle costs of kernel-mediated events. The defaults
+// are calibrated so the microbenchmark (Table 5) and macrobenchmark
+// (Table 6) reproduce the shape of the paper's results; see
+// DefaultCostModel and EXPERIMENTS.md.
+type CostModel struct {
+	// Trap is the user->kernel->user transition cost of a bare SYSCALL.
+	Trap uint64
+	// KernelWork is the default in-kernel service cost of a syscall.
+	KernelWork uint64
+	// SUDSlowPath is added to every syscall trap in a process once SUD
+	// has been armed, even when the selector currently allows the call:
+	// arming SUD moves syscall entry onto a slower kernel path
+	// (paper §6.2.1, "SUD-no-interposition").
+	SUDSlowPath uint64
+	// SignalDeliver is the cost of delivering one signal to a user-space
+	// handler plus the matching rt_sigreturn.
+	SignalDeliver uint64
+	// PtraceStop is one ptrace syscall-stop round trip (tracee freeze,
+	// context switch to tracer and back).
+	PtraceStop uint64
+	// PtraceAccess is one tracer access to tracee state
+	// (PTRACE_PEEKDATA/POKEDATA/GETREGS or process_vm_readv/writev).
+	PtraceAccess uint64
+}
+
+// DefaultCostModel returns the calibrated cost model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Trap:          150,
+		KernelWork:    50,
+		SUDSlowPath:   46,
+		SignalDeliver: 2376,
+		PtraceStop:    6000,
+		PtraceAccess:  800,
+	}
+}
+
+// Signals used by the simulation.
+const (
+	SIGILL  = 4
+	SIGTRAP = 5
+	SIGKILL = 9
+	SIGSEGV = 11
+	SIGSYS  = 31
+)
+
+// SUD selector byte values (Linux: include/uapi/linux/syscall_user_dispatch.h).
+const (
+	SelectorAllow = 0 // SYSCALL_DISPATCH_FILTER_ALLOW
+	SelectorBlock = 1 // SYSCALL_DISPATCH_FILTER_BLOCK
+)
+
+// MagicReturn is the sentinel return address used by CallGuest: a guest
+// function invoked from host space returns by RET-ing to this unmapped
+// address.
+const MagicReturn uint64 = 0x0DEAD_BEEF_0000
+
+// ThreadState is a thread's scheduling state.
+type ThreadState uint8
+
+// Thread states.
+const (
+	ThreadRunnable ThreadState = iota
+	ThreadBlocked
+	ThreadExited
+)
+
+// ProcessState is a process lifecycle state.
+type ProcessState uint8
+
+// Process states.
+const (
+	ProcRunning ProcessState = iota
+	ProcZombie
+	ProcReaped
+)
+
+// sudState is per-thread Syscall User Dispatch configuration.
+type sudState struct {
+	on           bool
+	selectorAddr uint64
+	allowStart   uint64
+	allowLen     uint64
+}
+
+// sigFrame records one in-flight signal delivery for rt_sigreturn.
+type sigFrame struct {
+	ucontextAddr uint64
+	savedRSP     uint64
+}
+
+// Thread is a simulated kernel thread. Each thread runs on its own core
+// (private instruction cache), matching the paper's cross-core P5
+// scenarios.
+type Thread struct {
+	TID   int
+	Proc  *Process
+	Core  *cpu.Core
+	State ThreadState
+
+	sud       sudState
+	sigFrames []sigFrame
+	wake      func() bool // when State == ThreadBlocked
+
+	// ExtraCycles counts kernel-charged cycles (traps, signals, ptrace
+	// stops) attributed to this thread, on top of Core.Cycles.
+	ExtraCycles uint64
+}
+
+// Cycles returns the total cycle cost attributed to this thread:
+// instructions it retired plus kernel events it suffered.
+func (t *Thread) Cycles() uint64 { return t.Core.Cycles + t.ExtraCycles }
+
+// charge adds kernel-event cycles to the thread.
+func (t *Thread) charge(c uint64) { t.ExtraCycles += c }
+
+// SUDArmed reports whether the thread currently has SUD enabled.
+func (t *Thread) SUDArmed() bool { return t.sud.on }
+
+// SUDSelector returns the configured selector address (0 if SUD off).
+func (t *Thread) SUDSelector() uint64 { return t.sud.selectorAddr }
+
+// ExitInfo records how a process died.
+type ExitInfo struct {
+	Code   int
+	Signal int    // non-zero if killed by a signal
+	Fault  string // human-readable fault description for signal deaths
+}
+
+func (e ExitInfo) String() string {
+	if e.Signal != 0 {
+		return fmt.Sprintf("killed by signal %d (%s)", e.Signal, e.Fault)
+	}
+	return fmt.Sprintf("exited with code %d", e.Code)
+}
+
+// Process is a simulated process.
+type Process struct {
+	PID  int
+	Path string
+	Argv []string
+	Env  []string
+
+	AS      *mem.AddressSpace
+	Threads []*Thread
+
+	State ProcessState
+	Exit  ExitInfo
+
+	Parent *Process
+
+	// Stdout and Stderr collect writes to fds 1 and 2.
+	Stdout []byte
+	Stderr []byte
+
+	fds    map[int]*fd
+	nextFD int
+
+	// sudEverArmed is sticky: once any thread arms SUD the process's
+	// syscall entry path is permanently slower (paper §6.2.1).
+	sudEverArmed bool
+
+	// VDSODisabled forces vdso-reachable calls through real SYSCALL
+	// instructions. K23's ptracer sets it (paper §5.2).
+	VDSODisabled bool
+
+	sigHandlers map[int]uint64 // signal -> handler address
+
+	tracer        Tracer
+	traceExecve   bool
+	pkeyAllocated [mem.NumPkeys]bool
+	seccomp       []*seccompFilter
+
+	// LoaderState is opaque bookkeeping owned by internal/loader.
+	LoaderState any
+
+	// Interposer is opaque bookkeeping owned by the interposer attached
+	// to this process (if any).
+	Interposer any
+
+	// Hostcalls maps hostcall ids to host functions for this process.
+	Hostcalls map[int32]*Hostcall
+
+	// nextTID generates thread ids.
+	nextTID int
+}
+
+// Getenv returns the value of name in the process environment.
+func (p *Process) Getenv(name string) (string, bool) {
+	for _, kv := range p.Env {
+		for i := 0; i < len(kv); i++ {
+			if kv[i] == '=' {
+				if kv[:i] == name {
+					return kv[i+1:], true
+				}
+				break
+			}
+		}
+	}
+	return "", false
+}
+
+// SetEnv sets name=value in the process environment, replacing any
+// existing entry.
+func SetEnv(env []string, name, value string) []string {
+	prefix := name + "="
+	for i, kv := range env {
+		if len(kv) >= len(prefix) && kv[:len(prefix)] == prefix {
+			env[i] = prefix + value
+			return env
+		}
+	}
+	return append(env, prefix+value)
+}
+
+// GetEnv returns the value of name in an environment slice.
+func GetEnv(env []string, name string) (string, bool) {
+	prefix := name + "="
+	for _, kv := range env {
+		if len(kv) >= len(prefix) && kv[:len(prefix)] == prefix {
+			return kv[len(prefix):], true
+		}
+	}
+	return "", false
+}
+
+// MainThread returns the first live thread (the main thread under normal
+// conditions).
+func (p *Process) MainThread() *Thread {
+	for _, t := range p.Threads {
+		if t.State != ThreadExited {
+			return t
+		}
+	}
+	if len(p.Threads) > 0 {
+		return p.Threads[0]
+	}
+	return nil
+}
+
+// Well-known hostcall ids. 1-99 are reserved for platform services
+// (loader); interposer libraries use 100 and above.
+const (
+	HostcallDlopen  int32 = 1
+	HostcallDlmopen int32 = 2
+	HostcallDlsym   int32 = 3
+)
+
+// Hostcall is a host (Go) function callable from guest code via the
+// HOSTCALL instruction. Cost is charged to the calling thread.
+type Hostcall struct {
+	Name string
+	Cost uint64
+	Fn   func(k *Kernel, t *Thread) error
+}
+
+// Tracer observes and controls a traced process, modelling a ptrace
+// tracer. Implementations run in host space; the cost model charges the
+// tracee for every stop and access, as the real mechanism does in wall
+// time.
+type Tracer interface {
+	// SyscallEnter is invoked at every syscall-entry stop. Returning
+	// suppress=true skips the kernel's execution of the call; the tracer
+	// must then set the return value itself via SetRegs.
+	SyscallEnter(k *Kernel, t *Thread, nr uint64, site uint64) (suppress bool)
+	// SyscallExit is invoked at every syscall-exit stop.
+	SyscallExit(k *Kernel, t *Thread, nr uint64, ret uint64)
+	// Execve is invoked before an execve is performed (PTRACE_EVENT_EXEC
+	// analogue). The tracer may rewrite the environment by returning a
+	// non-nil slice.
+	Execve(k *Kernel, t *Thread, path string, argv, env []string) (newEnv []string)
+}
+
+// ExecHandler performs an execve image replacement. It is installed by
+// internal/loader to break the kernel<->loader dependency cycle.
+type ExecHandler func(k *Kernel, t *Thread, path string, argv, env []string) error
+
+// Event is a kernel trace event, for strace-like observers.
+type Event struct {
+	PID, TID int
+	Kind     string // "enter", "exit", "signal", "exec", "fork", "exit-proc"
+	Num      uint64 // syscall number or signal number
+	Site     uint64
+	Ret      uint64
+	Detail   string
+}
+
+// Kernel is the simulated operating system instance.
+type Kernel struct {
+	FS   *vfs.FS
+	Cost CostModel
+
+	// Quantum is the scheduler preemption quantum in instructions.
+	Quantum int
+
+	// EventHook, if non-nil, receives kernel trace events.
+	EventHook func(Event)
+
+	// Exec is the execve image-replacement hook (set by internal/loader).
+	Exec ExecHandler
+
+	procs   map[int]*Process
+	order   []int // scheduling order of PIDs
+	nextPID int
+
+	net   *netStack
+	vvars []vvarReg
+
+	// VClock is a monotone virtual clock advanced as threads execute;
+	// it backs the vvar page and gettimeofday.
+	VClock uint64
+}
+
+// New returns a kernel with the default cost model and an empty
+// filesystem.
+func New() *Kernel {
+	return &Kernel{
+		FS:      vfs.New(),
+		Cost:    DefaultCostModel(),
+		Quantum: 50,
+		procs:   make(map[int]*Process),
+		nextPID: 1,
+		net:     newNetStack(),
+	}
+}
+
+// NewProcess creates an empty process (no memory mapped, no threads).
+// Callers (the loader) populate it and then call NewThread.
+func (k *Kernel) NewProcess(path string, argv, env []string) *Process {
+	p := &Process{
+		PID:         k.nextPID,
+		Path:        path,
+		Argv:        append([]string(nil), argv...),
+		Env:         append([]string(nil), env...),
+		AS:          mem.NewAddressSpace(),
+		fds:         make(map[int]*fd),
+		nextFD:      3,
+		sigHandlers: make(map[int]uint64),
+		Hostcalls:   make(map[int32]*Hostcall),
+		nextTID:     1,
+	}
+	k.nextPID++
+	k.procs[p.PID] = p
+	k.order = append(k.order, p.PID)
+	k.registerProcMaps(p)
+	return p
+}
+
+// NewThread creates a thread in p with the given initial context.
+func (k *Kernel) NewThread(p *Process, ctx cpu.Context) *Thread {
+	t := &Thread{
+		TID:   p.PID*100 + p.nextTID,
+		Proc:  p,
+		Core:  cpu.NewCore(p.AS),
+		State: ThreadRunnable,
+	}
+	p.nextTID++
+	t.Core.Ctx = ctx
+	p.Threads = append(p.Threads, t)
+	return t
+}
+
+// Process returns the process with the given pid.
+func (k *Kernel) Process(pid int) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Processes returns all processes sorted by pid.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// RegisterHostcall installs a hostcall for process p.
+func (k *Kernel) RegisterHostcall(p *Process, id int32, h *Hostcall) {
+	p.Hostcalls[id] = h
+}
+
+// AttachTracer attaches a tracer to p. Only one tracer per process.
+func (k *Kernel) AttachTracer(p *Process, tr Tracer) error {
+	if p.tracer != nil {
+		return fmt.Errorf("kernel: process %d already traced", p.PID)
+	}
+	p.tracer = tr
+	return nil
+}
+
+// DetachTracer removes p's tracer.
+func (k *Kernel) DetachTracer(p *Process) {
+	p.tracer = nil
+}
+
+// Tracer returns p's tracer, if any.
+func (k *Kernel) Tracer(p *Process) Tracer { return p.tracer }
+
+// ResetSignalHandlers drops all installed handlers (execve semantics).
+func (p *Process) ResetSignalHandlers() { p.sigHandlers = make(map[int]uint64) }
+
+// ClearSUD disables Syscall User Dispatch on the thread and drops any
+// pending signal frames (execve semantics).
+func (t *Thread) ClearSUD() {
+	t.sud = sudState{}
+	t.sigFrames = nil
+}
+
+// Rebind attaches the thread to its process's (possibly replaced) address
+// space with a fresh core (execve semantics).
+func (t *Thread) Rebind() {
+	cycles, insts, extra := t.Core.Cycles, t.Core.Insts, t.ExtraCycles
+	t.Core = cpu.NewCore(t.Proc.AS)
+	t.Core.Cycles, t.Core.Insts = cycles, insts
+	t.ExtraCycles = extra
+}
+
+type vvarReg struct {
+	p    *Process
+	addr uint64
+}
+
+// RegisterVvar records a vvar page the kernel keeps updated with the
+// virtual wall clock (seconds at +0, nanoseconds at +8).
+func (k *Kernel) RegisterVvar(p *Process, addr uint64) {
+	k.vvars = append(k.vvars, vvarReg{p: p, addr: addr})
+}
+
+// updateVvars refreshes all registered vvar pages.
+func (k *Kernel) updateVvars() {
+	for _, v := range k.vvars {
+		if v.p.State != ProcRunning {
+			continue
+		}
+		sec := k.VClock / CyclesPerSecond
+		nsec := (k.VClock % CyclesPerSecond) * 1_000_000_000 / CyclesPerSecond
+		_ = v.p.AS.KStoreU64(v.addr, sec)
+		_ = v.p.AS.KStoreU64(v.addr+8, nsec)
+	}
+}
+
+// ThreadByTID returns the thread with the given tid, if any.
+func (p *Process) ThreadByTID(tid int) *Thread {
+	for _, t := range p.Threads {
+		if t.TID == tid {
+			return t
+		}
+	}
+	return nil
+}
+
+// DirectSyscall services nr synchronously on behalf of t, bypassing the
+// trap path entirely (no SUD dispatch, no tracer stops). In-process
+// interposers use it to emulate system calls — most importantly clone,
+// whose child would otherwise materialize inside the interposer's handler
+// with a fresh, frameless stack. The full trap cost is still charged.
+func (k *Kernel) DirectSyscall(t *Thread, nr uint64, args [6]uint64) uint64 {
+	t.charge(k.Cost.Trap)
+	if t.Proc.sudEverArmed {
+		t.charge(k.Cost.SUDSlowPath)
+	}
+	ret, _ := k.executeSyscall(t, nr, args, 0)
+	return ret
+}
+
+// TraceePeek reads tracee memory on behalf of a tracer, charging the
+// tracee the ptrace access cost.
+func (k *Kernel) TraceePeek(t *Thread, addr uint64, n int) ([]byte, error) {
+	t.charge(k.Cost.PtraceAccess)
+	return t.Proc.AS.KLoad(addr, n)
+}
+
+// TraceePoke writes tracee memory on behalf of a tracer.
+func (k *Kernel) TraceePoke(t *Thread, addr uint64, b []byte) error {
+	t.charge(k.Cost.PtraceAccess)
+	return t.Proc.AS.KStore(addr, b)
+}
+
+// TraceeRegs returns a pointer to the tracee's register context
+// (PTRACE_GETREGS/SETREGS analogue), charging one access.
+func (k *Kernel) TraceeRegs(t *Thread) *cpu.Context {
+	t.charge(k.Cost.PtraceAccess)
+	return &t.Core.Ctx
+}
+
+// emit sends a trace event to the hook, if installed.
+func (k *Kernel) emit(ev Event) {
+	if k.EventHook != nil {
+		k.EventHook(ev)
+	}
+}
+
+// Runnable reports whether any thread in any running process can run.
+func (k *Kernel) Runnable() bool {
+	for _, p := range k.procs {
+		if p.State != ProcRunning {
+			continue
+		}
+		for _, t := range p.Threads {
+			if k.threadReady(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// threadReady reports whether t can be scheduled, unblocking it if its
+// wake condition has become true.
+func (k *Kernel) threadReady(t *Thread) bool {
+	switch t.State {
+	case ThreadRunnable:
+		return true
+	case ThreadBlocked:
+		if t.wake != nil && t.wake() {
+			t.State = ThreadRunnable
+			t.wake = nil
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Run drives the scheduler until no thread is runnable or maxInsts
+// instructions have been retired across all threads. It returns the
+// number of instructions retired.
+func (k *Kernel) Run(maxInsts uint64) uint64 {
+	var retired uint64
+	for retired < maxInsts {
+		progress := false
+		k.updateVvars()
+		for _, pid := range append([]int(nil), k.order...) {
+			p, ok := k.procs[pid]
+			if !ok || p.State != ProcRunning {
+				continue
+			}
+			for _, t := range append([]*Thread(nil), p.Threads...) {
+				if !k.threadReady(t) {
+					continue
+				}
+				n := k.runThread(t, k.Quantum)
+				retired += n
+				if n > 0 {
+					progress = true
+				}
+				if retired >= maxInsts {
+					return retired
+				}
+			}
+		}
+		if !progress {
+			return retired
+		}
+	}
+	return retired
+}
+
+// RunUntilExit runs the scheduler until process p leaves ProcRunning or
+// the instruction budget is exhausted. It returns an error on budget
+// exhaustion.
+func (k *Kernel) RunUntilExit(p *Process, maxInsts uint64) error {
+	var retired uint64
+	for p.State == ProcRunning {
+		if retired >= maxInsts {
+			return fmt.Errorf("kernel: budget exhausted after %d instructions (pid %d still running)", retired, p.PID)
+		}
+		n := k.Run(minU64(k.lot(), maxInsts-retired))
+		retired += n
+		if n == 0 && p.State == ProcRunning {
+			return fmt.Errorf("kernel: deadlock: pid %d has no runnable threads", p.PID)
+		}
+	}
+	return nil
+}
+
+// lot is the slice size RunUntilExit hands to Run per iteration.
+func (k *Kernel) lot() uint64 { return 10000 }
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runThread steps t for up to quantum instructions, handling stops.
+// Returns instructions retired.
+func (k *Kernel) runThread(t *Thread, quantum int) uint64 {
+	var retired uint64
+	for i := 0; i < quantum; i++ {
+		if t.State != ThreadRunnable || t.Proc.State != ProcRunning {
+			break
+		}
+		before := t.Core.Insts
+		stop := t.Core.Step()
+		retired += t.Core.Insts - before
+		k.VClock += t.Core.Insts - before
+		if stop.Kind == cpu.StopNone {
+			continue
+		}
+		k.handleStop(t, stop)
+		// A stop ends the slice: kernel entries are natural preemption
+		// points and serialize the core.
+		break
+	}
+	return retired
+}
+
+// handleStop services a non-trivial CPU stop.
+func (k *Kernel) handleStop(t *Thread, stop cpu.Stop) {
+	switch stop.Kind {
+	case cpu.StopSyscall, cpu.StopSysenter:
+		t.Core.FlushICache() // kernel entry serializes
+		k.handleSyscall(t, stop.Site)
+	case cpu.StopHostcall:
+		k.handleHostcall(t, stop.HostcallID)
+	case cpu.StopFault:
+		k.deliverFaultSignal(t, SIGSEGV, stop)
+	case cpu.StopIll:
+		k.deliverFaultSignal(t, SIGILL, stop)
+	case cpu.StopTrap:
+		k.deliverFaultSignal(t, SIGTRAP, stop)
+	case cpu.StopHalt:
+		k.exitThread(t, 0)
+	}
+}
+
+// handleHostcall dispatches a HOSTCALL instruction.
+func (k *Kernel) handleHostcall(t *Thread, id int32) {
+	h, ok := t.Proc.Hostcalls[id]
+	if !ok {
+		k.killProcess(t.Proc, SIGILL, fmt.Sprintf("unknown hostcall %d", id))
+		return
+	}
+	t.charge(h.Cost)
+	if err := h.Fn(k, t); err != nil {
+		k.killProcess(t.Proc, SIGILL, fmt.Sprintf("hostcall %s: %v", h.Name, err))
+	}
+}
+
+// exitThread terminates a thread; when the last thread exits, the process
+// becomes a zombie.
+func (k *Kernel) exitThread(t *Thread, code int) {
+	t.State = ThreadExited
+	for _, other := range t.Proc.Threads {
+		if other.State != ThreadExited {
+			return
+		}
+	}
+	k.finishProcess(t.Proc, ExitInfo{Code: code})
+}
+
+// killProcess terminates all threads with a signal death.
+func (k *Kernel) killProcess(p *Process, sig int, detail string) {
+	for _, t := range p.Threads {
+		t.State = ThreadExited
+	}
+	k.finishProcess(p, ExitInfo{Signal: sig, Fault: detail})
+}
+
+func (k *Kernel) finishProcess(p *Process, info ExitInfo) {
+	if p.State != ProcRunning {
+		return
+	}
+	p.State = ProcZombie
+	p.Exit = info
+	k.emit(Event{PID: p.PID, Kind: "exit-proc", Num: uint64(info.Code), Detail: info.String()})
+}
+
+// ErrGuestWouldBlock is returned by CallGuest when the guest code issued
+// a blocking system call (empty-backlog accept, data-less read). The
+// thread's context is restored to its pre-call state; the caller decides
+// how to retry — SUD-style interposers rewind the application to
+// re-execute the trapped syscall after sigreturn.
+var ErrGuestWouldBlock = fmt.Errorf("kernel: guest call would block")
+
+// CallGuest invokes guest code at entry on thread t with the given
+// argument registers, runs until the guest RETs to MagicReturn, and
+// returns RAX. It is used by the loader to run startup syscall stubs and
+// init functions, and by interposer host logic to execute guest
+// sequences.
+//
+// The guest call runs under full kernel semantics: SUD, ptrace and signal
+// delivery all apply.
+func (k *Kernel) CallGuest(t *Thread, entry uint64, args [6]uint64) (uint64, error) {
+	saved := t.Core.Ctx
+	savedState := t.State
+	t.State = ThreadRunnable
+
+	ctx := &t.Core.Ctx
+	for i, a := range args {
+		ctx.SetArg(i, a)
+	}
+	// Push the magic return address.
+	ctx.R[cpu.RSP] -= 8
+	if err := t.Proc.AS.KStoreU64(ctx.R[cpu.RSP], MagicReturn); err != nil {
+		t.Core.Ctx = saved
+		t.State = savedState
+		return 0, fmt.Errorf("kernel: CallGuest stack push: %w", err)
+	}
+	ctx.RIP = entry
+
+	const budget = 50_000_000
+	for i := 0; i < budget; i++ {
+		if t.Proc.State != ProcRunning {
+			return 0, fmt.Errorf("kernel: CallGuest: process died: %s", t.Proc.Exit)
+		}
+		if t.State == ThreadBlocked {
+			if !k.threadReady(t) {
+				// Restore the pre-call context and report: the caller
+				// converts this into an application-level retry.
+				t.Core.Ctx = saved
+				t.State = savedState
+				t.wake = nil
+				return 0, ErrGuestWouldBlock
+			}
+		}
+		if ctx.RIP == MagicReturn {
+			ret := ctx.R[cpu.RAX]
+			t.Core.Ctx = saved
+			t.State = savedState
+			return ret, nil
+		}
+		stop := t.Core.Step()
+		k.VClock++
+		if stop.Kind == cpu.StopNone {
+			continue
+		}
+		if stop.Kind == cpu.StopFault && ctx.RIP == MagicReturn {
+			// Fetch fault at the sentinel: the guest returned.
+			ret := ctx.R[cpu.RAX]
+			t.Core.Ctx = saved
+			t.State = savedState
+			return ret, nil
+		}
+		k.handleStop(t, stop)
+	}
+	return 0, fmt.Errorf("kernel: CallGuest: budget exhausted at %#x", ctx.RIP)
+}

@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"fmt"
+
+	"k23/internal/cpu"
+)
+
+// Signal frame layout constants. The kernel pushes a frame containing a
+// siginfo block and a ucontext block; the handler receives RDI=signo,
+// RSI=&siginfo, RDX=&ucontext. Handlers return with rt_sigreturn, which
+// restores the (possibly modified) ucontext — the mechanism zpoline-style
+// interposers use to emulate system calls "from outside the handler"
+// (paper §2.1).
+const (
+	// siginfo offsets
+	SigInfoSigno    = 0  // u64 signal number
+	SigInfoSyscall  = 8  // u64 intercepted syscall number (SIGSYS)
+	SigInfoCallAddr = 16 // u64 address following the syscall insn (SIGSYS)
+	SigInfoFaultAddr = 24 // u64 faulting address (SIGSEGV)
+	SigInfoCode      = 32 // u64 si_code (SYS_USER_DISPATCH vs SYS_SECCOMP)
+	SigInfoSize      = 40
+
+	// ucontext offsets
+	UctxRegs  = 0   // 16 x u64 general-purpose registers
+	UctxRIP   = 128 // u64 resume RIP
+	UctxFlags = 136 // u64 flags
+	UctxSize  = 144
+
+	// sigFrameSize is siginfo + ucontext, 16-byte aligned.
+	sigFrameSize = SigInfoSize + UctxSize
+)
+
+// si_code values distinguishing SIGSYS sources (analogues of Linux's
+// SYS_USER_DISPATCH and SYS_SECCOMP).
+const (
+	SiCodeUserDispatch = 2
+	SiCodeSeccomp      = 1
+)
+
+// sigInfo is the host-side form of the siginfo block.
+type sigInfo struct {
+	signo     int
+	syscall   uint64
+	callAddr  uint64
+	faultAddr uint64
+	code      uint64
+}
+
+// deliverFaultSignal handles CPU faults (SIGSEGV/SIGILL/SIGTRAP).
+func (k *Kernel) deliverFaultSignal(t *Thread, sig int, stop cpu.Stop) {
+	info := sigInfo{signo: sig}
+	detail := fmt.Sprintf("at rip=%#x", t.Core.Ctx.RIP)
+	if stop.Fault != nil {
+		info.faultAddr = stop.Fault.Addr
+		detail = stop.Fault.Error()
+	}
+	if _, ok := t.Proc.sigHandlers[sig]; !ok {
+		k.killProcess(t.Proc, sig, detail)
+		return
+	}
+	k.deliverSignal(t, sig, info)
+}
+
+// deliverSignal builds a signal frame on the thread's stack and transfers
+// control to the registered handler. The process is killed if no handler
+// is installed (default disposition for the signals we model).
+func (k *Kernel) deliverSignal(t *Thread, sig int, info sigInfo) {
+	p := t.Proc
+	handler, ok := p.sigHandlers[sig]
+	if !ok {
+		k.killProcess(p, sig, fmt.Sprintf("unhandled signal %d", sig))
+		return
+	}
+	t.charge(k.Cost.SignalDeliver)
+	t.Core.FlushICache() // signal delivery is a kernel entry: serializing
+
+	ctx := &t.Core.Ctx
+	savedRSP := ctx.R[cpu.RSP]
+
+	// Reserve the frame below the red zone, 16-byte aligned.
+	frameTop := (ctx.R[cpu.RSP] - 128 - sigFrameSize) &^ 15
+	siginfoAddr := frameTop
+	uctxAddr := frameTop + SigInfoSize
+
+	buf := make([]byte, sigFrameSize)
+	putU64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	putU64(SigInfoSigno, uint64(info.signo))
+	putU64(SigInfoSyscall, info.syscall)
+	putU64(SigInfoCallAddr, info.callAddr)
+	putU64(SigInfoFaultAddr, info.faultAddr)
+	putU64(SigInfoCode, info.code)
+	for r := 0; r < cpu.NumRegs; r++ {
+		putU64(SigInfoSize+UctxRegs+8*r, ctx.R[r])
+	}
+	putU64(SigInfoSize+UctxRIP, ctx.RIP)
+	putU64(SigInfoSize+UctxFlags, ctx.Flags())
+
+	if err := p.AS.KStore(frameTop, buf); err != nil {
+		k.killProcess(p, SIGSEGV, fmt.Sprintf("signal frame store failed: %v", err))
+		return
+	}
+
+	t.sigFrames = append(t.sigFrames, sigFrame{ucontextAddr: uctxAddr, savedRSP: savedRSP})
+
+	ctx.R[cpu.RDI] = uint64(sig)
+	ctx.R[cpu.RSI] = siginfoAddr
+	ctx.R[cpu.RDX] = uctxAddr
+	ctx.R[cpu.RSP] = frameTop - 8 // slot where a return address would live
+	ctx.RIP = handler
+	k.emit(Event{PID: p.PID, TID: t.TID, Kind: "signal", Num: uint64(sig), Site: ctx.RIP})
+}
+
+// sysSigreturn restores the thread context from the most recent signal
+// frame. The ucontext is re-read from guest memory, so handler-side
+// modifications (emulated return values, redirected RIP) take effect.
+func (k *Kernel) sysSigreturn(t *Thread) {
+	if len(t.sigFrames) == 0 {
+		k.killProcess(t.Proc, SIGSEGV, "rt_sigreturn with no signal frame")
+		return
+	}
+	fr := t.sigFrames[len(t.sigFrames)-1]
+	t.sigFrames = t.sigFrames[:len(t.sigFrames)-1]
+
+	buf, err := t.Proc.AS.KLoad(fr.ucontextAddr, UctxSize)
+	if err != nil {
+		k.killProcess(t.Proc, SIGSEGV, fmt.Sprintf("rt_sigreturn: frame unreadable: %v", err))
+		return
+	}
+	getU64 := func(off int) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(buf[off+i]) << (8 * i)
+		}
+		return v
+	}
+	ctx := &t.Core.Ctx
+	for r := 0; r < cpu.NumRegs; r++ {
+		ctx.R[r] = getU64(UctxRegs + 8*r)
+	}
+	ctx.RIP = getU64(UctxRIP)
+	ctx.SetFlags(getU64(UctxFlags))
+	t.Core.FlushICache()
+}
+
+// blockThread parks t until wake() returns true and arranges for the
+// in-flight system call to restart: RIP is rewound to the SYSCALL
+// instruction (RAX still holds the number at block time).
+func (k *Kernel) blockThread(t *Thread, wake func() bool) {
+	t.State = ThreadBlocked
+	t.wake = wake
+	t.Core.Ctx.RIP -= uint64(cpu.SyscallInstLen)
+}

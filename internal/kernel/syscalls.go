@@ -1,0 +1,886 @@
+package kernel
+
+import (
+	"fmt"
+
+	"k23/internal/cpu"
+	"k23/internal/mem"
+	"k23/internal/vfs"
+)
+
+// System call numbers, matching Linux x86-64 where the call exists there.
+const (
+	SysRead           = 0
+	SysWrite          = 1
+	SysOpen           = 2
+	SysClose          = 3
+	SysStat           = 4
+	SysFstat          = 5
+	SysMmap           = 9
+	SysMprotect       = 10
+	SysMunmap         = 11
+	SysBrk            = 12
+	SysRtSigaction    = 13
+	SysRtSigprocmask  = 14
+	SysRtSigreturn    = 15
+	SysIoctl          = 16
+	SysAccess         = 21
+	SysSchedYield     = 24
+	SysMadvise        = 28
+	SysNanosleep      = 35
+	SysGetpid         = 39
+	SysSocket         = 41
+	SysAccept         = 43
+	SysSendto         = 44
+	SysRecvfrom       = 45
+	SysBind           = 49
+	SysListen         = 50
+	SysClone          = 56
+	SysFork           = 57
+	SysExecve         = 59
+	SysExit           = 60
+	SysWait4          = 61
+	SysKill           = 62
+	SysUname          = 63
+	SysFcntl          = 72
+	SysGetcwd         = 79
+	SysChdir          = 80
+	SysMkdir          = 83
+	SysUnlink         = 87
+	SysChmod          = 90
+	SysGettimeofday   = 96
+	SysPtrace         = 101
+	SysGetuid         = 102
+	SysPrctl          = 157
+	SysArchPrctl      = 158
+	SysGettid         = 186
+	SysTime           = 201
+	SysFutex          = 202
+	SysEpollWait      = 232
+	SysEpollCtl       = 233
+	SysClockGettime   = 228
+	SysExitGroup      = 231
+	SysOpenat         = 257
+	SysAccept4        = 288
+	SysEpollCreate1   = 291
+	SysProcessVMReadv = 310
+	SysGetrandom      = 318
+	SysPkeyMprotect   = 329
+	SysPkeyAlloc      = 330
+	SysPkeyFree       = 331
+)
+
+// Errno values (returned negated, per the Linux ABI).
+const (
+	EPERM   = 1
+	ENOENT  = 2
+	EINTR   = 4
+	EBADF   = 9
+	EAGAIN  = 11
+	ENOMEM  = 12
+	EACCES  = 13
+	EFAULT  = 14
+	EEXIST  = 17
+	ENOTDIR = 20
+	EISDIR  = 21
+	EINVAL  = 22
+	ENOSYS  = 38
+)
+
+// errno encodes -e as a uint64 return value.
+func errno(e int) uint64 { return uint64(-int64(e)) }
+
+// IsErr reports whether a syscall return value encodes an errno, and
+// which one.
+func IsErr(ret uint64) (int, bool) {
+	if int64(ret) < 0 && int64(ret) > -4096 {
+		return int(-int64(ret)), true
+	}
+	return 0, false
+}
+
+// prctl operation and SUD mode constants (Linux values).
+const (
+	PrSetSyscallUserDispatch = 59
+	PrSysDispatchOff         = 0
+	PrSysDispatchOn          = 1
+)
+
+// open(2) flag bits (Linux values).
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreat  = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// mmap prot/flags bits (Linux values).
+const (
+	ProtRead  = 0x1
+	ProtWrite = 0x2
+	ProtExec  = 0x4
+	MapFixed  = 0x10
+)
+
+// fdKind distinguishes file descriptor flavours.
+type fdKind uint8
+
+const (
+	fdFile fdKind = iota
+	fdListener
+	fdConn
+	fdSocket // created but not yet bound/connected
+	fdEpoll
+)
+
+type fd struct {
+	kind     fdKind
+	path     string
+	data     []byte // file snapshot for reads
+	off      int
+	flags    uint64
+	listener *listener
+	conn     *conn
+}
+
+// protToPerm converts mmap/mprotect prot bits to mem permissions.
+func protToPerm(prot uint64) mem.Perm {
+	var p mem.Perm
+	if prot&ProtRead != 0 {
+		p |= mem.PermRead
+	}
+	if prot&ProtWrite != 0 {
+		p |= mem.PermWrite
+	}
+	if prot&ProtExec != 0 {
+		p |= mem.PermExec
+	}
+	return p
+}
+
+// PermToProt converts mem permissions to prot bits (used by interposer
+// code calling mprotect).
+func PermToProt(p mem.Perm) uint64 {
+	var prot uint64
+	if p&mem.PermRead != 0 {
+		prot |= ProtRead
+	}
+	if p&mem.PermWrite != 0 {
+		prot |= ProtWrite
+	}
+	if p&mem.PermExec != 0 {
+		prot |= ProtExec
+	}
+	return prot
+}
+
+// handleSyscall services a SYSCALL/SYSENTER stop at site.
+func (k *Kernel) handleSyscall(t *Thread, site uint64) {
+	p := t.Proc
+	ctx := &t.Core.Ctx
+	nr := ctx.R[cpu.RAX]
+
+	t.charge(k.Cost.Trap)
+	if p.sudEverArmed {
+		// Arming SUD moves every syscall in the process onto a slower
+		// kernel entry path, selector state notwithstanding (§6.2.1).
+		t.charge(k.Cost.SUDSlowPath)
+	}
+
+	// Syscall User Dispatch check (before ptrace, as in the kernel's
+	// entry work ordering).
+	if t.sud.on && !(site >= t.sud.allowStart && site < t.sud.allowStart+t.sud.allowLen) {
+		sel, err := p.AS.KLoad(t.sud.selectorAddr, 1)
+		if err != nil {
+			k.killProcess(p, SIGSEGV, fmt.Sprintf("SUD selector unreadable at %#x", t.sud.selectorAddr))
+			return
+		}
+		if sel[0] == SelectorBlock {
+			k.emit(Event{PID: p.PID, TID: t.TID, Kind: "sud-sigsys", Num: nr, Site: site})
+			k.deliverSignal(t, SIGSYS, sigInfo{
+				signo:    SIGSYS,
+				syscall:  nr,
+				callAddr: site + uint64(cpu.SyscallInstLen),
+				code:     SiCodeUserDispatch,
+			})
+			return
+		}
+	}
+
+	// seccomp filters (after SUD, before ptrace, as in the kernel's
+	// syscall entry work).
+	if !k.seccompCheck(t, nr, site) {
+		return
+	}
+
+	// ptrace syscall-entry stop.
+	var args [6]uint64
+	for i := range args {
+		args[i] = ctx.Arg(i)
+	}
+	k.emit(Event{PID: p.PID, TID: t.TID, Kind: "enter", Num: nr, Site: site})
+	if p.tracer != nil {
+		t.charge(k.Cost.PtraceStop)
+		if p.tracer.SyscallEnter(k, t, nr, site) {
+			// Suppressed: the tracer has set the result registers.
+			if p.tracer != nil {
+				t.charge(k.Cost.PtraceStop)
+				p.tracer.SyscallExit(k, t, nr, ctx.R[cpu.RAX])
+			}
+			return
+		}
+		// The tracer may have rewritten the number or arguments.
+		nr = ctx.R[cpu.RAX]
+		for i := range args {
+			args[i] = ctx.Arg(i)
+		}
+	}
+
+	ret, noReturn := k.executeSyscall(t, nr, args, site)
+	if !noReturn {
+		ctx.R[cpu.RAX] = ret
+	}
+	k.emit(Event{PID: p.PID, TID: t.TID, Kind: "exit", Num: nr, Site: site, Ret: ret})
+
+	if p.State == ProcRunning && p.tracer != nil && !noReturn {
+		t.charge(k.Cost.PtraceStop)
+		p.tracer.SyscallExit(k, t, nr, ret)
+	}
+}
+
+// executeSyscall runs the system call service routine. noReturn is true
+// when the routine replaced the thread context (execve, exit,
+// rt_sigreturn) and RAX must not be overwritten.
+func (k *Kernel) executeSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) (ret uint64, noReturn bool) {
+	p := t.Proc
+	t.charge(k.Cost.KernelWork)
+
+	switch nr {
+	case SysRead:
+		return k.sysRead(t, int(a[0]), a[1], a[2])
+	case SysWrite:
+		return k.sysWrite(t, int(a[0]), a[1], a[2]), false
+	case SysOpen:
+		return k.sysOpen(t, a[0], a[1]), false
+	case SysOpenat:
+		return k.sysOpen(t, a[1], a[2]), false
+	case SysClose:
+		return k.sysClose(t, int(a[0])), false
+	case SysStat:
+		return k.sysStat(t, a[0], a[1]), false
+	case SysFstat:
+		return k.sysFstat(t, int(a[0]), a[1]), false
+	case SysMmap:
+		return k.sysMmap(t, a[0], a[1], a[2], a[3]), false
+	case SysMprotect:
+		return k.sysMprotect(t, a[0], a[1], a[2]), false
+	case SysMunmap:
+		if err := p.AS.Unmap(a[0], a[1]); err != nil {
+			return errno(EINVAL), false
+		}
+		return 0, false
+	case SysBrk:
+		return 0, false
+	case SysRtSigaction:
+		return k.sysSigaction(t, int(a[0]), a[1]), false
+	case SysRtSigprocmask:
+		return 0, false
+	case SysRtSigreturn:
+		k.sysSigreturn(t)
+		return 0, true
+	case SysIoctl, SysFcntl, SysMadvise, SysSchedYield, SysNanosleep,
+		SysFutex, SysEpollCtl, SysArchPrctl, SysChdir:
+		return 0, false
+	case SysAccess:
+		path, err := p.AS.KLoadString(a[0], 4096)
+		if err != nil {
+			return errno(EFAULT), false
+		}
+		if k.FS.Exists(path) {
+			return 0, false
+		}
+		return errno(ENOENT), false
+	case SysGetpid:
+		return uint64(p.PID), false
+	case SysGettid:
+		return uint64(t.TID), false
+	case SysGetuid:
+		return 1000, false
+	case SysGetcwd:
+		if err := k.storeString(t, a[0], a[1], "/"); err != nil {
+			return errno(EFAULT), false
+		}
+		return 2, false
+	case SysUname:
+		if err := k.storeString(t, a[0], 65, "SimLinux"); err != nil {
+			return errno(EFAULT), false
+		}
+		return 0, false
+	case SysMkdir:
+		path, err := p.AS.KLoadString(a[0], 4096)
+		if err != nil {
+			return errno(EFAULT), false
+		}
+		if err := k.FS.MkdirAll(path); err != nil {
+			return errno(EPERM), false
+		}
+		return 0, false
+	case SysUnlink:
+		path, err := p.AS.KLoadString(a[0], 4096)
+		if err != nil {
+			return errno(EFAULT), false
+		}
+		switch err := k.FS.Unlink(path); err {
+		case nil:
+			return 0, false
+		case vfs.ErrNotExist:
+			return errno(ENOENT), false
+		default:
+			return errno(EPERM), false
+		}
+	case SysChmod:
+		path, err := p.AS.KLoadString(a[0], 4096)
+		if err != nil {
+			return errno(EFAULT), false
+		}
+		if err := k.FS.Chmod(path, vfs.Mode(a[1])); err != nil {
+			return errno(EPERM), false
+		}
+		return 0, false
+	case SysGettimeofday, SysClockGettime, SysTime:
+		return k.sysTime(t, nr, a), false
+	case SysSocket:
+		return k.sysSocket(t), false
+	case SysBind:
+		return k.sysBind(t, int(a[0]), int(a[1])), false
+	case SysListen:
+		return k.sysListen(t, int(a[0]), int(a[1])), false
+	case SysAccept, SysAccept4:
+		return k.sysAccept(t, int(a[0]))
+	case SysSendto:
+		return k.sysWrite(t, int(a[0]), a[1], a[2]), false
+	case SysRecvfrom:
+		return k.sysRead(t, int(a[0]), a[1], a[2])
+	case SysEpollCreate1:
+		return k.allocFD(p, &fd{kind: fdEpoll}), false
+	case SysEpollWait:
+		return 0, false
+	case SysClone:
+		return k.sysClone(t, a[0], a[1]), false
+	case SysFork:
+		return k.sysFork(t), false
+	case SysExecve:
+		return k.sysExecve(t, a[0], a[1], a[2])
+	case SysExit, SysExitGroup:
+		code := int(a[0] & 0xff) // exit statuses are 8-bit, as on Linux
+		if nr == SysExitGroup {
+			for _, th := range p.Threads {
+				th.State = ThreadExited
+			}
+			k.finishProcess(p, ExitInfo{Code: code})
+		} else {
+			k.exitThread(t, code)
+		}
+		return 0, true
+	case SysWait4:
+		return k.sysWait4(t, int(int64(a[0])), a[1])
+	case SysKill:
+		if target, ok := k.procs[int(a[0])]; ok {
+			k.killProcess(target, int(a[1]), "killed")
+			return 0, false
+		}
+		return errno(ENOENT), false
+	case SysPtrace:
+		// Guest-initiated ptrace is not modelled; tracers are host-level.
+		return errno(ENOSYS), false
+	case SysPrctl:
+		return k.sysPrctl(t, a), false
+	case SysGetrandom:
+		return k.sysGetrandom(t, a[0], a[1]), false
+	case SysPkeyAlloc:
+		for i := 1; i < mem.NumPkeys; i++ {
+			if !p.pkeyAllocated[i] {
+				p.pkeyAllocated[i] = true
+				return uint64(i), false
+			}
+		}
+		return errno(ENOMEM), false
+	case SysPkeyFree:
+		if a[0] < mem.NumPkeys {
+			p.pkeyAllocated[a[0]] = false
+			return 0, false
+		}
+		return errno(EINVAL), false
+	case SysPkeyMprotect:
+		if err := p.AS.ProtectWithKey(a[0], a[1], protToPerm(a[2]), int(a[3])); err != nil {
+			return errno(EINVAL), false
+		}
+		return 0, false
+	case SysSeccomp:
+		return k.sysSeccomp(t, a[0], a[1], a[2]), false
+	case SysProcessVMReadv:
+		return errno(ENOSYS), false
+	default:
+		// Unknown system calls (including the microbenchmark's number
+		// 500 and K23's fake handoff calls) take the full entry path
+		// and fail with ENOSYS.
+		return errno(ENOSYS), false
+	}
+}
+
+// copyOut writes syscall result data into user memory, honouring page
+// permissions and the calling thread's PKRU — as the real kernel's
+// copy_to_user does. A PKU-protected trampoline page therefore faults
+// (EFAULT) instead of being silently corrupted by a stray out-pointer.
+func (k *Kernel) copyOut(t *Thread, addr uint64, b []byte) bool {
+	return t.Proc.AS.Store(addr, b, t.Core.PKRU) == nil
+}
+
+// storeString writes a NUL-terminated string into guest memory, bounded
+// by max bytes.
+func (k *Kernel) storeString(t *Thread, addr, max uint64, s string) error {
+	b := append([]byte(s), 0)
+	if uint64(len(b)) > max {
+		b = b[:max]
+		b[max-1] = 0
+	}
+	if !k.copyOut(t, addr, b) {
+		return &mem.Fault{Addr: addr, Access: mem.AccessWrite}
+	}
+	return nil
+}
+
+func (k *Kernel) allocFD(p *Process, f *fd) uint64 {
+	n := p.nextFD
+	p.nextFD++
+	p.fds[n] = f
+	return uint64(n)
+}
+
+func (k *Kernel) sysOpen(t *Thread, pathAddr, flags uint64) uint64 {
+	p := t.Proc
+	path, err := p.AS.KLoadString(pathAddr, 4096)
+	if err != nil {
+		return errno(EFAULT)
+	}
+	exists := k.FS.Exists(path)
+	if !exists && flags&OCreat == 0 {
+		return errno(ENOENT)
+	}
+	if !exists {
+		if err := k.FS.WriteFile(path, nil, vfs.ModeRW); err != nil {
+			return errno(EPERM)
+		}
+	}
+	if flags&OTrunc != 0 {
+		if err := k.FS.WriteFile(path, nil, vfs.ModeRW); err != nil {
+			return errno(EPERM)
+		}
+	}
+	var data []byte
+	if exists && !k.FS.IsDir(path) {
+		data, err = k.FS.ReadFile(path)
+		if err != nil && err != vfs.ErrPerm {
+			return errno(EACCES)
+		}
+	}
+	return k.allocFD(p, &fd{kind: fdFile, path: path, data: data, flags: flags})
+}
+
+func (k *Kernel) sysClose(t *Thread, n int) uint64 {
+	p := t.Proc
+	f, ok := p.fds[n]
+	if !ok {
+		return errno(EBADF)
+	}
+	if f.kind == fdConn && f.conn != nil {
+		f.conn.closeServerSide()
+	}
+	delete(p.fds, n)
+	return 0
+}
+
+func (k *Kernel) sysRead(t *Thread, n int, buf, count uint64) (ret uint64, blocked bool) {
+	p := t.Proc
+	if n == 0 {
+		return 0, false // empty stdin
+	}
+	f, ok := p.fds[n]
+	if !ok {
+		return errno(EBADF), false
+	}
+	switch f.kind {
+	case fdFile:
+		if f.off >= len(f.data) {
+			return 0, false
+		}
+		chunk := f.data[f.off:]
+		if uint64(len(chunk)) > count {
+			chunk = chunk[:count]
+		}
+		if !k.copyOut(t, buf, chunk) {
+			return errno(EFAULT), false
+		}
+		f.off += len(chunk)
+		return uint64(len(chunk)), false
+	case fdConn:
+		return k.connRead(t, f, buf, count)
+	default:
+		return errno(EINVAL), false
+	}
+}
+
+func (k *Kernel) sysWrite(t *Thread, n int, buf, count uint64) uint64 {
+	p := t.Proc
+	data, err := p.AS.KLoad(buf, int(count))
+	if err != nil {
+		return errno(EFAULT)
+	}
+	switch n {
+	case 1:
+		p.Stdout = append(p.Stdout, data...)
+		return count
+	case 2:
+		p.Stderr = append(p.Stderr, data...)
+		return count
+	}
+	f, ok := p.fds[n]
+	if !ok {
+		return errno(EBADF)
+	}
+	switch f.kind {
+	case fdFile:
+		// Writes append to the backing file (the workloads are
+		// log/WAL-style writers).
+		if err := k.FS.Append(f.path, data); err != nil {
+			return errno(EPERM)
+		}
+		return count
+	case fdConn:
+		return k.connWrite(t, f, data)
+	default:
+		return errno(EINVAL)
+	}
+}
+
+func (k *Kernel) sysStat(t *Thread, pathAddr, bufAddr uint64) uint64 {
+	p := t.Proc
+	path, err := p.AS.KLoadString(pathAddr, 4096)
+	if err != nil {
+		return errno(EFAULT)
+	}
+	if !k.FS.Exists(path) {
+		return errno(ENOENT)
+	}
+	data, _ := k.FS.ReadFile(path)
+	return k.fillStat(t, bufAddr, uint64(len(data)))
+}
+
+func (k *Kernel) sysFstat(t *Thread, n int, bufAddr uint64) uint64 {
+	p := t.Proc
+	f, ok := p.fds[n]
+	if !ok {
+		return errno(EBADF)
+	}
+	return k.fillStat(t, bufAddr, uint64(len(f.data)))
+}
+
+// fillStat writes a 144-byte stat buffer with st_size at offset 48, as on
+// Linux x86-64.
+func (k *Kernel) fillStat(t *Thread, bufAddr, size uint64) uint64 {
+	buf := make([]byte, 144)
+	for i := 0; i < 8; i++ {
+		buf[48+i] = byte(size >> (8 * i))
+	}
+	if !k.copyOut(t, bufAddr, buf) {
+		return errno(EFAULT)
+	}
+	return 0
+}
+
+// mmapBase is where anonymous mappings begin; subsequent maps grow
+// upward.
+const mmapBase = 0x7f00_0000_0000
+
+func (k *Kernel) sysMmap(t *Thread, addr, length, prot, flags uint64) uint64 {
+	p := t.Proc
+	if length == 0 {
+		return errno(EINVAL)
+	}
+	if addr == 0 && flags&MapFixed != 0 {
+		// Mapping page zero: the trampoline trick. Linux permits it
+		// (mmap_min_addr is modelled as 0 to match the papers' setup).
+		addr = 0
+	} else if addr == 0 {
+		addr = k.findFree(p, length)
+	}
+	if addr%mem.PageSize != 0 {
+		return errno(EINVAL)
+	}
+	if err := p.AS.Map(addr, length, protToPerm(prot), "[anon]"); err != nil {
+		return errno(ENOMEM)
+	}
+	return addr
+}
+
+// findFree picks an unused address range of the given length.
+func (k *Kernel) findFree(p *Process, length uint64) uint64 {
+	addr := uint64(mmapBase)
+	pages := mem.PageCount(0, length)
+	for {
+		if !p.AS.Mapped(addr, pages*mem.PageSize) {
+			free := true
+			for i := uint64(0); i < pages; i++ {
+				if p.AS.Mapped(addr+i*mem.PageSize, 1) {
+					free = false
+					break
+				}
+			}
+			if free {
+				return addr
+			}
+		}
+		addr += pages * mem.PageSize
+	}
+}
+
+func (k *Kernel) sysMprotect(t *Thread, addr, length, prot uint64) uint64 {
+	if err := t.Proc.AS.Protect(addr, length, protToPerm(prot)); err != nil {
+		return errno(EINVAL)
+	}
+	return 0
+}
+
+func (k *Kernel) sysSigaction(t *Thread, sig int, handler uint64) uint64 {
+	if sig <= 0 || sig > 64 {
+		return errno(EINVAL)
+	}
+	if handler == 0 {
+		delete(t.Proc.sigHandlers, sig)
+	} else {
+		t.Proc.sigHandlers[sig] = handler
+	}
+	return 0
+}
+
+func (k *Kernel) sysTime(t *Thread, nr uint64, a [6]uint64) uint64 {
+	// One virtual second is 3.2e9 cycles (the modelled 3.2 GHz clock).
+	sec := k.VClock / CyclesPerSecond
+	nsec := (k.VClock % CyclesPerSecond) * 1_000_000_000 / CyclesPerSecond
+	var bufAddr uint64
+	switch nr {
+	case SysGettimeofday:
+		bufAddr = a[0]
+	case SysClockGettime:
+		bufAddr = a[1]
+	case SysTime:
+		if a[0] == 0 {
+			return sec
+		}
+		bufAddr = a[0]
+	}
+	if bufAddr == 0 {
+		return 0
+	}
+	buf := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(sec >> (8 * i))
+		buf[8+i] = byte(nsec >> (8 * i))
+	}
+	if !k.copyOut(t, bufAddr, buf) {
+		return errno(EFAULT)
+	}
+	return 0
+}
+
+// CyclesPerSecond is the virtual clock rate: 3.2 GHz, matching the
+// paper's Xeon w5-3425.
+const CyclesPerSecond = 3_200_000_000
+
+func (k *Kernel) sysPrctl(t *Thread, a [6]uint64) uint64 {
+	if a[0] != PrSetSyscallUserDispatch {
+		return errno(EINVAL)
+	}
+	switch a[1] {
+	case PrSysDispatchOn:
+		// prctl(PR_SET_SYSCALL_USER_DISPATCH, ON, offset, len, selector)
+		if a[4] == 0 {
+			return errno(EINVAL)
+		}
+		t.sud = sudState{on: true, selectorAddr: a[4], allowStart: a[2], allowLen: a[3]}
+		t.Proc.sudEverArmed = true
+		return 0
+	case PrSysDispatchOff:
+		// This succeeding unconditionally is pitfall P1b: any code in
+		// the process can silently disable SUD-based interposition.
+		// K23 blocks it at the interposer layer, not here.
+		t.sud = sudState{}
+		return 0
+	default:
+		return errno(EINVAL)
+	}
+}
+
+func (k *Kernel) sysGetrandom(t *Thread, buf, count uint64) uint64 {
+	b := make([]byte, count)
+	seed := k.VClock
+	for i := range b {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		b[i] = byte(seed >> 33)
+	}
+	if !k.copyOut(t, buf, b) {
+		return errno(EFAULT)
+	}
+	return count
+}
+
+func (k *Kernel) sysClone(t *Thread, flags, stack uint64) uint64 {
+	p := t.Proc
+	ctx := t.Core.Ctx // copy
+	ctx.R[cpu.RAX] = 0
+	if stack != 0 {
+		ctx.R[cpu.RSP] = stack
+	}
+	nt := k.NewThread(p, ctx)
+	// SUD configuration and the PKRU are inherited on thread creation,
+	// as on Linux (PKRU is architectural per-thread state).
+	nt.sud = t.sud
+	nt.Core.PKRU = t.Core.PKRU
+	return uint64(nt.TID)
+}
+
+func (k *Kernel) sysFork(t *Thread) uint64 {
+	parent := t.Proc
+	child := &Process{
+		PID:          k.nextPID,
+		Path:         parent.Path,
+		Argv:         append([]string(nil), parent.Argv...),
+		Env:          append([]string(nil), parent.Env...),
+		AS:           parent.AS.Clone(),
+		fds:          make(map[int]*fd),
+		nextFD:       parent.nextFD,
+		sigHandlers:  make(map[int]uint64),
+		Hostcalls:    parent.Hostcalls, // code identical post-fork
+		sudEverArmed: parent.sudEverArmed,
+		VDSODisabled: parent.VDSODisabled,
+		Parent:       parent,
+		LoaderState:  parent.LoaderState,
+		Interposer:   parent.Interposer,
+		nextTID:      1,
+	}
+	k.nextPID++
+	for sig, h := range parent.sigHandlers {
+		child.sigHandlers[sig] = h
+	}
+	for n, f := range parent.fds {
+		cf := *f
+		child.fds[n] = &cf
+	}
+	k.procs[child.PID] = child
+	k.order = append(k.order, child.PID)
+	k.registerProcMaps(child)
+
+	// The forking thread is duplicated; SUD state is inherited
+	// (per-thread, preserved across fork on Linux). The tracer is NOT
+	// inherited (no PTRACE_O_TRACEFORK modelled).
+	ctx := t.Core.Ctx
+	ctx.R[cpu.RAX] = 0
+	ct := k.NewThread(child, ctx)
+	ct.sud = t.sud
+
+	k.emit(Event{PID: parent.PID, TID: t.TID, Kind: "fork", Ret: uint64(child.PID)})
+	return uint64(child.PID)
+}
+
+// loadStringVec reads a NULL-terminated array of string pointers.
+func (k *Kernel) loadStringVec(p *Process, addr uint64) ([]string, error) {
+	if addr == 0 {
+		return nil, nil
+	}
+	var out []string
+	for i := 0; i < 1024; i++ {
+		ptr, err := p.AS.KLoadU64(addr + uint64(8*i))
+		if err != nil {
+			return nil, err
+		}
+		if ptr == 0 {
+			return out, nil
+		}
+		s, err := p.AS.KLoadString(ptr, 4096)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, fmt.Errorf("kernel: unterminated string vector at %#x", addr)
+}
+
+func (k *Kernel) sysExecve(t *Thread, pathAddr, argvAddr, envAddr uint64) (uint64, bool) {
+	p := t.Proc
+	path, err := p.AS.KLoadString(pathAddr, 4096)
+	if err != nil {
+		return errno(EFAULT), false
+	}
+	argv, err := k.loadStringVec(p, argvAddr)
+	if err != nil {
+		return errno(EFAULT), false
+	}
+	env, err := k.loadStringVec(p, envAddr)
+	if err != nil {
+		return errno(EFAULT), false
+	}
+	if k.Exec == nil {
+		return errno(ENOSYS), false
+	}
+	k.emit(Event{PID: p.PID, TID: t.TID, Kind: "exec", Detail: path})
+	if p.tracer != nil {
+		// PTRACE_EVENT_EXEC analogue: the tracer inspects — and may
+		// rewrite — the new environment. This is where K23's ptracer
+		// re-injects LD_PRELOAD (defeating pitfall P1a).
+		t.charge(k.Cost.PtraceStop)
+		if newEnv := p.tracer.Execve(k, t, path, argv, env); newEnv != nil {
+			env = newEnv
+		}
+	}
+	if err := k.Exec(k, t, path, argv, env); err != nil {
+		return errno(ENOENT), false
+	}
+	return 0, true
+}
+
+func (k *Kernel) sysWait4(t *Thread, pid int, statusAddr uint64) (ret uint64, blocked bool) {
+	p := t.Proc
+	find := func() *Process {
+		for _, c := range k.procs {
+			if c.Parent == p && c.State == ProcZombie {
+				if pid <= 0 || c.PID == pid {
+					return c
+				}
+			}
+		}
+		return nil
+	}
+	c := find()
+	if c == nil {
+		// Block (with syscall restart) until a matching child exits.
+		k.blockThread(t, func() bool { return find() != nil })
+		return 0, true
+	}
+	c.State = ProcReaped
+	if statusAddr != 0 {
+		status := uint64(c.Exit.Code) << 8
+		if c.Exit.Signal != 0 {
+			status = uint64(c.Exit.Signal)
+		}
+		buf := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(status >> (8 * i))
+		}
+		if !k.copyOut(t, statusAddr, buf) {
+			return errno(EFAULT), false
+		}
+	}
+	return uint64(c.PID), false
+}

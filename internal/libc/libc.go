@@ -1,0 +1,239 @@
+// Package libc builds the shared C-library analogue of the simulated
+// platform: one exported wrapper per system call (each containing exactly
+// one SYSCALL instruction site, like glibc's syscall stubs), vdso-aware
+// time functions, small string/memory helpers, and an initializer that
+// performs glibc-style startup work (locale loading) — system calls that
+// run before any LD_PRELOAD interposer initializes.
+//
+// Calling convention: arguments in RDI, RSI, RDX, R10, R8, R9 (the kernel
+// syscall argument registers; the platform uses them for function calls
+// too, so wrappers need no shuffling), return in RAX, R12 clobbered by
+// cross-image calls.
+package libc
+
+import (
+	"sync"
+
+	"k23/internal/asm"
+	"k23/internal/cpu"
+	"k23/internal/image"
+	"k23/internal/kernel"
+)
+
+// Path is the canonical libc path.
+const Path = "/usr/lib/libc.so.6"
+
+// Hostcall ids the loader registers for every process (dlopen family).
+// They live in the kernel package so both libc and the loader can name
+// them without a dependency cycle.
+const (
+	HostcallDlopen  = kernel.HostcallDlopen
+	HostcallDlmopen = kernel.HostcallDlmopen
+)
+
+var (
+	buildOnce sync.Once
+	img       *image.Image
+)
+
+// Image returns the libc image (built once; images are immutable).
+func Image() *image.Image {
+	buildOnce.Do(func() { img = build() })
+	return img
+}
+
+// wrapper emits "name: mov rax, nr; syscall; ret" — one unique syscall
+// instruction site per wrapper, as in glibc.
+func wrapper(t *asm.SectionBuilder, name string, nr uint32) {
+	t.Label(name)
+	t.MovImm32(cpu.RAX, nr)
+	t.Label("." + name + "_syscall_site")
+	t.Syscall()
+	t.Ret()
+}
+
+func build() *image.Image {
+	b := asm.NewBuilder(Path)
+	t := b.Text()
+
+	// --- plain syscall wrappers ---
+	wrappers := []struct {
+		name string
+		nr   uint32
+	}{
+		{"read", kernel.SysRead},
+		{"write", kernel.SysWrite},
+		{"open", kernel.SysOpen},
+		{"openat", kernel.SysOpenat},
+		{"close", kernel.SysClose},
+		{"stat", kernel.SysStat},
+		{"fstat", kernel.SysFstat},
+		{"mmap", kernel.SysMmap},
+		{"mprotect", kernel.SysMprotect},
+		{"munmap", kernel.SysMunmap},
+		{"sigaction", kernel.SysRtSigaction},
+		{"sigreturn", kernel.SysRtSigreturn},
+		{"ioctl", kernel.SysIoctl},
+		{"access", kernel.SysAccess},
+		{"sched_yield", kernel.SysSchedYield},
+		{"madvise", kernel.SysMadvise},
+		{"nanosleep", kernel.SysNanosleep},
+		{"getpid", kernel.SysGetpid},
+		{"socket", kernel.SysSocket},
+		{"accept", kernel.SysAccept},
+		{"bind", kernel.SysBind},
+		{"listen", kernel.SysListen},
+		{"clone", kernel.SysClone},
+		{"fork", kernel.SysFork},
+		{"execve", kernel.SysExecve},
+		{"exit", kernel.SysExit},
+		{"exit_group", kernel.SysExitGroup},
+		{"wait4", kernel.SysWait4},
+		{"kill", kernel.SysKill},
+		{"uname", kernel.SysUname},
+		{"fcntl", kernel.SysFcntl},
+		{"getcwd", kernel.SysGetcwd},
+		{"chdir", kernel.SysChdir},
+		{"mkdir", kernel.SysMkdir},
+		{"unlink", kernel.SysUnlink},
+		{"chmod", kernel.SysChmod},
+		{"getuid", kernel.SysGetuid},
+		{"prctl", kernel.SysPrctl},
+		{"gettid", kernel.SysGettid},
+		{"futex", kernel.SysFutex},
+		{"epoll_wait", kernel.SysEpollWait},
+		{"epoll_ctl", kernel.SysEpollCtl},
+		{"epoll_create1", kernel.SysEpollCreate1},
+		{"getrandom", kernel.SysGetrandom},
+		{"pkey_mprotect", kernel.SysPkeyMprotect},
+		{"pkey_alloc", kernel.SysPkeyAlloc},
+		{"pkey_free", kernel.SysPkeyFree},
+	}
+	for _, w := range wrappers {
+		wrapper(t, w.name, w.nr)
+	}
+
+	// syscall(nr, a0..a4): the generic syscall() entry point.
+	t.Label("syscall")
+	t.Mov(cpu.RAX, cpu.RDI)
+	t.Mov(cpu.RDI, cpu.RSI)
+	t.Mov(cpu.RSI, cpu.RDX)
+	t.Mov(cpu.RDX, cpu.R10)
+	t.Mov(cpu.R10, cpu.R8)
+	t.Mov(cpu.R8, cpu.R9)
+	t.Label(".syscall_generic_site")
+	t.Syscall()
+	t.Ret()
+
+	// gettimeofday(tv): prefer the vdso (no SYSCALL executed); fall back
+	// to the trap when the vdso is absent (ptracer-disabled, P2b fix).
+	timeFn := func(name, vdsoSym string, nr uint32) {
+		t.Label(name)
+		t.MovImmSym(cpu.R11, vdsoSym) // weak: 0 when vdso disabled
+		t.Test(cpu.R11, cpu.R11)
+		t.Jz("." + name + "_slow")
+		t.JmpReg(cpu.R11) // tail-call into the vdso
+		t.Label("." + name + "_slow")
+		t.MovImm32(cpu.RAX, nr)
+		t.Syscall()
+		t.Ret()
+	}
+	timeFn("gettimeofday", "__vdso_gettimeofday", kernel.SysGettimeofday)
+	timeFn("clock_gettime", "__vdso_clock_gettime", kernel.SysClockGettime)
+
+	// dlopen(path) / dlmopen(path): host-mediated dynamic loading.
+	t.Label("dlopen")
+	t.Hostcall(HostcallDlopen)
+	t.Ret()
+	t.Label("dlmopen")
+	t.Hostcall(HostcallDlmopen)
+	t.Ret()
+	// dlsym(name) -> address (0 if undefined).
+	t.Label("dlsym")
+	t.Hostcall(kernel.HostcallDlsym)
+	t.Ret()
+
+	// --- string/memory helpers ---
+
+	// memcpy(dst, src, n) -> dst
+	t.Label("memcpy")
+	t.Mov(cpu.RAX, cpu.RDI)
+	t.Label(".memcpy_loop")
+	t.Test(cpu.RDX, cpu.RDX)
+	t.Jz(".memcpy_done")
+	t.LoadB(cpu.R11, cpu.RSI, 0)
+	t.StoreB(cpu.RDI, 0, cpu.R11)
+	t.AddImm(cpu.RDI, 1)
+	t.AddImm(cpu.RSI, 1)
+	t.AddImm(cpu.RDX, -1)
+	t.Jmp(".memcpy_loop")
+	t.Label(".memcpy_done")
+	t.Ret()
+
+	// memset(dst, c, n) -> dst
+	t.Label("memset")
+	t.Mov(cpu.RAX, cpu.RDI)
+	t.Label(".memset_loop")
+	t.Test(cpu.RDX, cpu.RDX)
+	t.Jz(".memset_done")
+	t.StoreB(cpu.RDI, 0, cpu.RSI)
+	t.AddImm(cpu.RDI, 1)
+	t.AddImm(cpu.RDX, -1)
+	t.Jmp(".memset_loop")
+	t.Label(".memset_done")
+	t.Ret()
+
+	// strlen(s) -> len
+	t.Label("strlen")
+	t.Xor(cpu.RAX, cpu.RAX)
+	t.Label(".strlen_loop")
+	t.LoadB(cpu.R11, cpu.RDI, 0)
+	t.Test(cpu.R11, cpu.R11)
+	t.Jz(".strlen_done")
+	t.AddImm(cpu.RAX, 1)
+	t.AddImm(cpu.RDI, 1)
+	t.Jmp(".strlen_loop")
+	t.Label(".strlen_done")
+	t.Ret()
+
+	// --- libc initializer: glibc-style startup syscalls ---
+	// These run in dependency order before any LD_PRELOAD interposer's
+	// own initializer, widening the pre-interposition blind spot that
+	// the paper measures for `ls` (§6.1).
+	rodata := b.Rodata()
+	rodata.Label(".str_locale").CString("/usr/lib/locale/locale-archive")
+	rodata.Label(".str_gconv").CString("/usr/lib/gconv/gconv-modules.cache")
+	rodata.Label(".str_nss").CString("/etc/nsswitch.conf")
+	rodata.Label(".str_tz").CString("/etc/localtime")
+	data := b.Data()
+	data.Label(".libc_statbuf").Space(160)
+
+	t.Label("libc_init")
+	t.Push(cpu.RBX)
+	probe := func(strLabel string) {
+		t.MovImmSym(cpu.RDI, strLabel)
+		t.MovImm32(cpu.RSI, 0)
+		t.CallSym("open")
+		t.Mov(cpu.RBX, cpu.RAX) // fd (or -errno for missing probe files)
+		t.Mov(cpu.RDI, cpu.RBX)
+		t.MovImmSym(cpu.RSI, ".libc_statbuf")
+		t.CallSym("fstat")
+		t.MovImm32(cpu.RDI, 0)
+		t.MovImm32(cpu.RSI, 4096)
+		t.MovImm32(cpu.RDX, kernel.ProtRead)
+		t.CallSym("mmap")
+		t.Mov(cpu.RDI, cpu.RBX)
+		t.CallSym("close")
+	}
+	probe(".str_locale")
+	probe(".str_gconv")
+	probe(".str_nss")
+	probe(".str_tz")
+	t.CallSym("getpid")
+	t.CallSym("getuid")
+	t.Pop(cpu.RBX)
+	t.Ret()
+
+	b.Init("libc_init")
+	return b.MustBuild()
+}

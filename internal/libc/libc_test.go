@@ -1,0 +1,114 @@
+package libc_test
+
+import (
+	"testing"
+
+	"k23/internal/asm"
+	"k23/internal/cpu"
+	"k23/internal/interpose"
+	"k23/internal/kernel"
+	"k23/internal/libc"
+)
+
+func TestImageIsMemoizedAndValid(t *testing.T) {
+	a, b := libc.Image(), libc.Image()
+	if a != b {
+		t.Fatal("Image not memoized")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.InitSymbol != "libc_init" {
+		t.Fatalf("init = %q", a.InitSymbol)
+	}
+}
+
+func TestEveryWrapperHasOneSite(t *testing.T) {
+	im := libc.Image()
+	// Each wrapper label must have a matching ".<name>_syscall_site"
+	// ground-truth site exactly two MOVIMM32-lengths after it.
+	for _, name := range []string{"read", "write", "getpid", "prctl", "clone", "execve"} {
+		w, ok := im.SymbolOff(name)
+		if !ok {
+			t.Fatalf("missing wrapper %s", name)
+		}
+		site, ok := im.SymbolOff("." + name + "_syscall_site")
+		if !ok {
+			t.Fatalf("missing site label for %s", name)
+		}
+		if site != w+6 {
+			t.Fatalf("%s site at +%d, want +6 (after the mov)", name, site-w)
+		}
+		found := false
+		for _, ts := range im.TrueSites {
+			if ts == site {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s site not in ground truth", name)
+		}
+	}
+}
+
+// run builds and runs a tiny program against libc helpers.
+func run(t *testing.T, build func(tx *asm.SectionBuilder, d *asm.SectionBuilder)) *kernel.Process {
+	t.Helper()
+	w := interpose.NewWorld()
+	b := asm.NewBuilder("/t/prog")
+	b.Needed(libc.Path)
+	d := b.Data()
+	tx := b.Text()
+	tx.Label("_start")
+	build(tx, d)
+	w.MustRegister(b.MustBuild())
+	p, err := w.L.Spawn("/t/prog", []string{"prog"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMemcpyMemsetStrlen(t *testing.T) {
+	p := run(t, func(tx, d *asm.SectionBuilder) {
+		d.Label(".src").CString("hello world")
+		d.Label(".dst").Space(32)
+		// memset(dst, 'x', 4)
+		tx.MovImmSym(cpu.RDI, ".dst")
+		tx.MovImm32(cpu.RSI, 'x')
+		tx.MovImm32(cpu.RDX, 4)
+		tx.CallSym("memset")
+		// memcpy(dst+4, src, 5)
+		tx.MovImmSym(cpu.RDI, ".dst")
+		tx.AddImm(cpu.RDI, 4)
+		tx.MovImmSym(cpu.RSI, ".src")
+		tx.MovImm32(cpu.RDX, 5)
+		tx.CallSym("memcpy")
+		// strlen(dst) -> exit code
+		tx.MovImmSym(cpu.RDI, ".dst")
+		tx.CallSym("strlen")
+		tx.Mov(cpu.RDI, cpu.RAX)
+		tx.CallSym("exit_group")
+	})
+	// exit code 9 = strlen("xxxxhello"): memset, memcpy and strlen all
+	// behaved.
+	if p.Exit.Code != 9 {
+		t.Fatalf("strlen = %d, want 9", p.Exit.Code)
+	}
+}
+
+func TestSyscallGeneric(t *testing.T) {
+	p := run(t, func(tx, d *asm.SectionBuilder) {
+		// syscall(getpid) via the generic entry point.
+		tx.MovImm32(cpu.RDI, kernel.SysGetpid)
+		tx.CallSym("syscall")
+		tx.Mov(cpu.RDI, cpu.RAX)
+		tx.CallSym("exit_group")
+	})
+	if p.Exit.Code != p.PID {
+		t.Fatalf("exit = %+v, pid %d", p.Exit, p.PID)
+	}
+}

@@ -1,0 +1,606 @@
+// Package mem implements the simulated 64-bit address space used by the
+// K23 reproduction: demand-allocated pages with read/write/execute
+// permissions, Protection Keys for Userspace (PKU) semantics, named regions
+// (the source of /proc/<pid>/maps), and per-page write-generation counters
+// that the CPU's instruction-cache model consumes.
+//
+// Two access planes are provided. The user plane (Load, Store, Fetch)
+// enforces page permissions and PKU and returns *Fault errors that the
+// kernel converts into signals. The kernel plane (KLoad, KStore, KFetch)
+// bypasses permissions, as the real kernel does when it builds signal
+// frames or services ptrace(PTRACE_POKEDATA) and process_vm_writev.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the size of a virtual memory page in bytes, matching x86-64.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Page permission bits. A page with PermExec but neither PermRead nor
+// PermWrite is eXecute-Only Memory (XOM).
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+
+	PermNone Perm = 0
+	PermRW        = PermRead | PermWrite
+	PermRX        = PermRead | PermExec
+	PermRWX       = PermRead | PermWrite | PermExec
+)
+
+// String renders the permission in /proc/<pid>/maps style ("rwx", "r-x"…).
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// AccessKind identifies the type of memory access that faulted.
+type AccessKind uint8
+
+// Access kinds reported in faults.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessExec
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	default:
+		return fmt.Sprintf("access(%d)", uint8(k))
+	}
+}
+
+// FaultCause distinguishes why an access faulted.
+type FaultCause uint8
+
+// Fault causes.
+const (
+	// CauseUnmapped means no page is mapped at the address.
+	CauseUnmapped FaultCause = iota
+	// CausePerm means the page is mapped but the page permissions forbid
+	// the access.
+	CausePerm
+	// CausePkey means page permissions allow the access but the page's
+	// protection key, evaluated against the accessing thread's PKRU,
+	// forbids it. Instruction fetches are never blocked by protection
+	// keys: that asymmetry is what makes PKU-based XOM (and pitfall P4a)
+	// possible.
+	CausePkey
+)
+
+func (c FaultCause) String() string {
+	switch c {
+	case CauseUnmapped:
+		return "unmapped"
+	case CausePerm:
+		return "permission"
+	case CausePkey:
+		return "pkey"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Fault describes a memory access violation. It is returned by the user
+// plane accessors and converted by the kernel into SIGSEGV.
+type Fault struct {
+	Addr   uint64
+	Access AccessKind
+	Cause  FaultCause
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault: %s at %#x (%s)", f.Access, f.Addr, f.Cause)
+}
+
+// PKRU is a thread's protection-key rights register: two bits per key,
+// bit 2k = access-disable (AD), bit 2k+1 = write-disable (WD), matching
+// the x86-64 PKRU layout.
+type PKRU uint32
+
+// NumPkeys is the number of protection keys, matching x86-64 PKU.
+const NumPkeys = 16
+
+// DenyAccess returns a PKRU value equal to p with all access to key
+// denied (AD=1, WD=1).
+func (p PKRU) DenyAccess(key int) PKRU {
+	return p | PKRU(0b11<<(2*key))
+}
+
+// DenyWrite returns a PKRU value equal to p with writes through key
+// denied (WD=1) but reads allowed.
+func (p PKRU) DenyWrite(key int) PKRU {
+	return p | PKRU(0b10<<(2*key))
+}
+
+// Allow returns a PKRU value equal to p with key fully allowed.
+func (p PKRU) Allow(key int) PKRU {
+	return p &^ PKRU(0b11 << (2 * key))
+}
+
+// mayRead reports whether the PKRU permits reads through key.
+func (p PKRU) mayRead(key int) bool { return p&(1<<(2*key)) == 0 }
+
+// mayWrite reports whether the PKRU permits writes through key.
+func (p PKRU) mayWrite(key int) bool { return p&(0b11<<(2*key)) == 0 }
+
+// page is a single mapped 4 KiB page.
+type page struct {
+	data [PageSize]byte
+	perm Perm
+	pkey int
+	// gen is incremented on every store to the page. The CPU I-cache
+	// model snapshots it to detect (or deliberately miss, absent
+	// serialization) cross-modifying code.
+	gen uint64
+}
+
+// Region describes a named contiguous mapping, as reported by
+// /proc/<pid>/maps. Offsets within a region are stable across runs even
+// under ASLR, which is what K23's offline logs rely on.
+type Region struct {
+	Start uint64
+	End   uint64 // exclusive
+	Perm  Perm   // permission the region was mapped with
+	Name  string // e.g. "/lib/libc.so.6", "[stack]", "[vdso]"
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool { return addr >= r.Start && addr < r.End }
+
+// Size returns the region length in bytes.
+func (r Region) Size() uint64 { return r.End - r.Start }
+
+// AddressSpace is a sparse 64-bit virtual address space.
+//
+// The zero value is not usable; call NewAddressSpace. All methods are safe
+// for concurrent use by multiple goroutines (the kernel scheduler is
+// single-stepped, but tests and tracers may inspect memory concurrently).
+type AddressSpace struct {
+	mu      sync.RWMutex
+	pages   map[uint64]*page // page number -> page
+	regions []Region         // sorted by Start
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint64]*page)}
+}
+
+// Clone returns a deep copy of the address space (used by fork).
+func (a *AddressSpace) Clone() *AddressSpace {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	c := NewAddressSpace()
+	for pn, pg := range a.pages {
+		np := *pg
+		c.pages[pn] = &np
+	}
+	c.regions = append([]Region(nil), a.regions...)
+	return c
+}
+
+// PageNum returns the page number containing addr.
+func PageNum(addr uint64) uint64 { return addr >> PageShift }
+
+// PageBase returns the base address of the page containing addr.
+func PageBase(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// PageCount returns how many pages are needed to cover length bytes
+// starting at addr.
+func PageCount(addr, length uint64) uint64 {
+	if length == 0 {
+		return 0
+	}
+	first := PageNum(addr)
+	last := PageNum(addr + length - 1)
+	return last - first + 1
+}
+
+// Map maps [addr, addr+length) with the given permission and records a
+// named region. addr must be page-aligned. Mapping over an existing page
+// replaces it (like MAP_FIXED). length is rounded up to whole pages.
+func (a *AddressSpace) Map(addr, length uint64, perm Perm, name string) error {
+	if addr%PageSize != 0 {
+		return fmt.Errorf("mem: map address %#x is not page-aligned", addr)
+	}
+	if length == 0 {
+		return fmt.Errorf("mem: map length is zero")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := PageCount(addr, length)
+	for i := uint64(0); i < n; i++ {
+		a.pages[PageNum(addr)+i] = &page{perm: perm}
+	}
+	end := addr + n*PageSize
+	a.insertRegionLocked(Region{Start: addr, End: end, Perm: perm, Name: name})
+	return nil
+}
+
+// Unmap removes pages covering [addr, addr+length).
+func (a *AddressSpace) Unmap(addr, length uint64) error {
+	if addr%PageSize != 0 {
+		return fmt.Errorf("mem: unmap address %#x is not page-aligned", addr)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := PageCount(addr, length)
+	for i := uint64(0); i < n; i++ {
+		delete(a.pages, PageNum(addr)+i)
+	}
+	a.removeRegionRangeLocked(addr, addr+n*PageSize)
+	return nil
+}
+
+// insertRegionLocked inserts r, splitting or removing any overlapped
+// existing regions.
+func (a *AddressSpace) insertRegionLocked(r Region) {
+	a.removeRegionRangeLocked(r.Start, r.End)
+	a.regions = append(a.regions, r)
+	sort.Slice(a.regions, func(i, j int) bool { return a.regions[i].Start < a.regions[j].Start })
+}
+
+// removeRegionRangeLocked carves [start,end) out of the region list.
+func (a *AddressSpace) removeRegionRangeLocked(start, end uint64) {
+	var out []Region
+	for _, reg := range a.regions {
+		switch {
+		case reg.End <= start || reg.Start >= end:
+			out = append(out, reg)
+		default:
+			if reg.Start < start {
+				out = append(out, Region{Start: reg.Start, End: start, Perm: reg.Perm, Name: reg.Name})
+			}
+			if reg.End > end {
+				out = append(out, Region{Start: end, End: reg.End, Perm: reg.Perm, Name: reg.Name})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	a.regions = out
+}
+
+// Regions returns a copy of the region list, sorted by start address.
+func (a *AddressSpace) Regions() []Region {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return append([]Region(nil), a.regions...)
+}
+
+// RegionAt returns the region containing addr, if any.
+func (a *AddressSpace) RegionAt(addr uint64) (Region, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, r := range a.regions {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// RegionByName returns the first region with the given name.
+func (a *AddressSpace) RegionByName(name string) (Region, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, r := range a.regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Protect changes the permission of the pages covering [addr, addr+length).
+// All covered pages must be mapped. Mirrors mprotect(2).
+func (a *AddressSpace) Protect(addr, length uint64, perm Perm) error {
+	if addr%PageSize != 0 {
+		return fmt.Errorf("mem: protect address %#x is not page-aligned", addr)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := PageCount(addr, length)
+	for i := uint64(0); i < n; i++ {
+		pg, ok := a.pages[PageNum(addr)+i]
+		if !ok {
+			return &Fault{Addr: addr + i*PageSize, Access: AccessWrite, Cause: CauseUnmapped}
+		}
+		pg.perm = perm
+	}
+	return nil
+}
+
+// ProtectWithKey changes permissions and assigns a protection key,
+// mirroring pkey_mprotect(2).
+func (a *AddressSpace) ProtectWithKey(addr, length uint64, perm Perm, pkey int) error {
+	if pkey < 0 || pkey >= NumPkeys {
+		return fmt.Errorf("mem: invalid protection key %d", pkey)
+	}
+	if err := a.Protect(addr, length, perm); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := PageCount(addr, length)
+	for i := uint64(0); i < n; i++ {
+		a.pages[PageNum(addr)+i].pkey = pkey
+	}
+	return nil
+}
+
+// PermAt returns the permission and protection key of the page containing
+// addr. ok is false if the page is unmapped.
+func (a *AddressSpace) PermAt(addr uint64) (perm Perm, pkey int, ok bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	pg, found := a.pages[PageNum(addr)]
+	if !found {
+		return 0, 0, false
+	}
+	return pg.perm, pg.pkey, true
+}
+
+// Mapped reports whether every page of [addr, addr+length) is mapped.
+func (a *AddressSpace) Mapped(addr, length uint64) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	n := PageCount(addr, length)
+	for i := uint64(0); i < n; i++ {
+		if _, ok := a.pages[PageNum(addr)+i]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Gen returns the write generation of the page containing addr, or 0 if
+// the page is unmapped. The CPU I-cache uses this to decide whether a
+// cached line is stale.
+func (a *AddressSpace) Gen(addr uint64) uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if pg, ok := a.pages[PageNum(addr)]; ok {
+		return pg.gen
+	}
+	return 0
+}
+
+// checkLocked validates an n-byte access of the given kind at addr under
+// pkru and returns the page, or a fault. Caller holds a.mu (read or write).
+func (a *AddressSpace) checkLocked(addr uint64, kind AccessKind, pkru PKRU) (*page, *Fault) {
+	pg, ok := a.pages[PageNum(addr)]
+	if !ok {
+		return nil, &Fault{Addr: addr, Access: kind, Cause: CauseUnmapped}
+	}
+	switch kind {
+	case AccessRead:
+		if pg.perm&PermRead == 0 {
+			return nil, &Fault{Addr: addr, Access: kind, Cause: CausePerm}
+		}
+		if !pkru.mayRead(pg.pkey) {
+			return nil, &Fault{Addr: addr, Access: kind, Cause: CausePkey}
+		}
+	case AccessWrite:
+		if pg.perm&PermWrite == 0 {
+			return nil, &Fault{Addr: addr, Access: kind, Cause: CausePerm}
+		}
+		if !pkru.mayWrite(pg.pkey) {
+			return nil, &Fault{Addr: addr, Access: kind, Cause: CausePkey}
+		}
+	case AccessExec:
+		// Instruction fetch: page must be executable. Protection keys do
+		// NOT apply to fetches (x86-64 PKU semantics).
+		if pg.perm&PermExec == 0 {
+			return nil, &Fault{Addr: addr, Access: kind, Cause: CausePerm}
+		}
+	}
+	return pg, nil
+}
+
+// Load reads n bytes at addr under the user plane, enforcing page
+// permissions and pkru.
+func (a *AddressSpace) Load(addr uint64, n int, pkru PKRU) ([]byte, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.copyOutLocked(addr, n, AccessRead, pkru)
+}
+
+// Fetch reads n instruction bytes at addr, enforcing execute permission.
+// Protection keys are ignored for fetches, which is what enables PKU-XOM.
+func (a *AddressSpace) Fetch(addr uint64, n int) ([]byte, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.copyOutLocked(addr, n, AccessExec, 0)
+}
+
+// FetchLine fills buf with the cache line containing addr (buf length
+// must divide PageSize so a line never spans pages), enforcing execute
+// permission, and returns the page's write generation. This is the
+// single-lock fast path backing the CPU instruction cache.
+func (a *AddressSpace) FetchLine(addr uint64, buf []byte) (gen uint64, err error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	pg, fault := a.checkLocked(addr, AccessExec, 0)
+	if fault != nil {
+		return 0, fault
+	}
+	lineBase := addr &^ uint64(len(buf)-1)
+	off := lineBase % PageSize
+	copy(buf, pg.data[off:off+uint64(len(buf))])
+	return pg.gen, nil
+}
+
+func (a *AddressSpace) copyOutLocked(addr uint64, n int, kind AccessKind, pkru PKRU) ([]byte, error) {
+	out := make([]byte, n)
+	off := 0
+	for off < n {
+		cur := addr + uint64(off)
+		pg, fault := a.checkLocked(cur, kind, pkru)
+		if fault != nil {
+			return nil, fault
+		}
+		po := cur % PageSize
+		c := copy(out[off:], pg.data[po:])
+		off += c
+	}
+	return out, nil
+}
+
+// Store writes b at addr under the user plane, enforcing page permissions
+// and pkru, and bumps the write generation of every touched page.
+func (a *AddressSpace) Store(addr uint64, b []byte, pkru PKRU) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Validate the whole range first so a partially permitted store does
+	// not partially complete.
+	for off := 0; off < len(b); off += PageSize {
+		if _, fault := a.checkLocked(addr+uint64(off), AccessWrite, pkru); fault != nil {
+			return fault
+		}
+	}
+	if len(b) > 0 {
+		if _, fault := a.checkLocked(addr+uint64(len(b)-1), AccessWrite, pkru); fault != nil {
+			return fault
+		}
+	}
+	a.writeLocked(addr, b)
+	return nil
+}
+
+// KLoad reads n bytes bypassing permissions (kernel plane).
+func (a *AddressSpace) KLoad(addr uint64, n int) ([]byte, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]byte, n)
+	off := 0
+	for off < n {
+		cur := addr + uint64(off)
+		pg, ok := a.pages[PageNum(cur)]
+		if !ok {
+			return nil, &Fault{Addr: cur, Access: AccessRead, Cause: CauseUnmapped}
+		}
+		po := cur % PageSize
+		c := copy(out[off:], pg.data[po:])
+		off += c
+	}
+	return out, nil
+}
+
+// KStore writes b bypassing permissions (kernel plane). Pages must be
+// mapped. Write generations are still bumped so the I-cache model sees
+// kernel-plane code modification too.
+func (a *AddressSpace) KStore(addr uint64, b []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for off := 0; off < len(b); off += PageSize {
+		if _, ok := a.pages[PageNum(addr+uint64(off))]; !ok {
+			return &Fault{Addr: addr + uint64(off), Access: AccessWrite, Cause: CauseUnmapped}
+		}
+	}
+	if len(b) > 0 {
+		if _, ok := a.pages[PageNum(addr+uint64(len(b)-1))]; !ok {
+			return &Fault{Addr: addr + uint64(len(b)-1), Access: AccessWrite, Cause: CauseUnmapped}
+		}
+	}
+	a.writeLocked(addr, b)
+	return nil
+}
+
+// writeLocked performs the raw write and generation bumps. All touched
+// pages must exist.
+func (a *AddressSpace) writeLocked(addr uint64, b []byte) {
+	off := 0
+	for off < len(b) {
+		cur := addr + uint64(off)
+		pg := a.pages[PageNum(cur)]
+		po := cur % PageSize
+		c := copy(pg.data[po:], b[off:])
+		pg.gen++
+		off += c
+	}
+}
+
+// LoadU64 reads a little-endian uint64 under the user plane.
+func (a *AddressSpace) LoadU64(addr uint64, pkru PKRU) (uint64, error) {
+	b, err := a.Load(addr, 8, pkru)
+	if err != nil {
+		return 0, err
+	}
+	return leU64(b), nil
+}
+
+// StoreU64 writes a little-endian uint64 under the user plane.
+func (a *AddressSpace) StoreU64(addr, v uint64, pkru PKRU) error {
+	return a.Store(addr, putLeU64(v), pkru)
+}
+
+// KLoadU64 reads a little-endian uint64 on the kernel plane.
+func (a *AddressSpace) KLoadU64(addr uint64) (uint64, error) {
+	b, err := a.KLoad(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return leU64(b), nil
+}
+
+// KStoreU64 writes a little-endian uint64 on the kernel plane.
+func (a *AddressSpace) KStoreU64(addr, v uint64) error {
+	return a.KStore(addr, putLeU64(v))
+}
+
+// KLoadString reads a NUL-terminated string of at most max bytes on the
+// kernel plane.
+func (a *AddressSpace) KLoadString(addr uint64, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, err := a.KLoad(addr+uint64(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b[0] == 0 {
+			break
+		}
+		out = append(out, b[0])
+	}
+	return string(out), nil
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(v uint64) []byte {
+	return []byte{
+		byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+		byte(v >> 32), byte(v >> 40), byte(v >> 48), byte(v >> 56),
+	}
+}

@@ -1,0 +1,330 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustMap(t *testing.T, a *AddressSpace, addr, length uint64, perm Perm, name string) {
+	t.Helper()
+	if err := a.Map(addr, length, perm, name); err != nil {
+		t.Fatalf("Map(%#x, %d): %v", addr, length, err)
+	}
+}
+
+func TestMapLoadStore(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, 2*PageSize, PermRW, "heap")
+
+	want := []byte{1, 2, 3, 4, 5}
+	if err := a.Store(0x1ffe, want, 0); err != nil {
+		t.Fatalf("cross-page store: %v", err)
+	}
+	got, err := a.Load(0x1ffe, len(want), 0)
+	if err != nil {
+		t.Fatalf("cross-page load: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	a := NewAddressSpace()
+	_, err := a.Load(0x5000, 1, 0)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("expected *Fault, got %v", err)
+	}
+	if f.Cause != CauseUnmapped || f.Access != AccessRead || f.Addr != 0x5000 {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestPermFaults(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, PageSize, PermRead, "ro")
+
+	if err := a.Store(0x1000, []byte{1}, 0); err == nil {
+		t.Fatal("store to read-only page succeeded")
+	} else if f := err.(*Fault); f.Cause != CausePerm || f.Access != AccessWrite {
+		t.Fatalf("fault = %+v", f)
+	}
+	if _, err := a.Fetch(0x1000, 1); err == nil {
+		t.Fatal("fetch from non-exec page succeeded")
+	}
+}
+
+func TestXOMSemantics(t *testing.T) {
+	// eXecute-Only Memory: exec allowed, read and write fault.
+	a := NewAddressSpace()
+	mustMap(t, a, 0, PageSize, PermExec, "trampoline")
+
+	if _, err := a.Fetch(0, 2); err != nil {
+		t.Fatalf("fetch from XOM page: %v", err)
+	}
+	if _, err := a.Load(0, 1, 0); err == nil {
+		t.Fatal("read from XOM page succeeded")
+	}
+	if err := a.Store(0, []byte{1}, 0); err == nil {
+		t.Fatal("write to XOM page succeeded")
+	}
+}
+
+func TestPKUBlocksDataNotFetch(t *testing.T) {
+	// The PKU asymmetry behind P4a: protection keys deny reads/writes but
+	// never instruction fetches.
+	a := NewAddressSpace()
+	mustMap(t, a, 0, PageSize, PermRWX, "trampoline")
+	if err := a.ProtectWithKey(0, PageSize, PermRWX, 1); err != nil {
+		t.Fatal(err)
+	}
+	pkru := PKRU(0).DenyAccess(1)
+
+	if _, err := a.Load(0, 1, pkru); err == nil {
+		t.Fatal("pkey-denied read succeeded")
+	} else if f := err.(*Fault); f.Cause != CausePkey {
+		t.Fatalf("cause = %v, want pkey", f.Cause)
+	}
+	if err := a.Store(0, []byte{1}, pkru); err == nil {
+		t.Fatal("pkey-denied write succeeded")
+	}
+	if _, err := a.Fetch(0, 2); err != nil {
+		t.Fatalf("fetch through denied pkey should succeed: %v", err)
+	}
+}
+
+func TestPKRUWriteOnlyDeny(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, PageSize, PermRW, "data")
+	if err := a.ProtectWithKey(0x1000, PageSize, PermRW, 2); err != nil {
+		t.Fatal(err)
+	}
+	pkru := PKRU(0).DenyWrite(2)
+	if _, err := a.Load(0x1000, 1, pkru); err != nil {
+		t.Fatalf("read under write-deny pkey: %v", err)
+	}
+	if err := a.Store(0x1000, []byte{1}, pkru); err == nil {
+		t.Fatal("write under write-deny pkey succeeded")
+	}
+	if err := a.Store(0x1000, []byte{1}, pkru.Allow(2)); err != nil {
+		t.Fatalf("write after Allow: %v", err)
+	}
+}
+
+func TestKernelPlaneBypassesPerms(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, PageSize, PermNone, "guarded")
+	if err := a.KStore(0x1000, []byte{42}); err != nil {
+		t.Fatalf("KStore: %v", err)
+	}
+	b, err := a.KLoad(0x1000, 1)
+	if err != nil || b[0] != 42 {
+		t.Fatalf("KLoad = %v, %v", b, err)
+	}
+}
+
+func TestGenBumpsOnWrite(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, PageSize, PermRW, "code")
+	g0 := a.Gen(0x1000)
+	if err := a.Store(0x1234, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g1 := a.Gen(0x1000); g1 <= g0 {
+		t.Fatalf("gen did not increase: %d -> %d", g0, g1)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, PageSize, PermRX, "/lib/libc.so.6")
+	mustMap(t, a, 0x3000, PageSize, PermRW, "[stack]")
+
+	r, ok := a.RegionAt(0x1234)
+	if !ok || r.Name != "/lib/libc.so.6" {
+		t.Fatalf("RegionAt(0x1234) = %+v, %v", r, ok)
+	}
+	if _, ok := a.RegionAt(0x2000); ok {
+		t.Fatal("RegionAt in hole should fail")
+	}
+	if _, ok := a.RegionByName("[stack]"); !ok {
+		t.Fatal("RegionByName([stack]) failed")
+	}
+}
+
+func TestRegionSplitOnOverlap(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, 4*PageSize, PermRW, "big")
+	mustMap(t, a, 0x2000, PageSize, PermRX, "hole")
+
+	regions := a.Regions()
+	if len(regions) != 3 {
+		t.Fatalf("got %d regions %v, want 3", len(regions), regions)
+	}
+	if regions[0].Name != "big" || regions[0].End != 0x2000 {
+		t.Fatalf("regions[0] = %+v", regions[0])
+	}
+	if regions[1].Name != "hole" {
+		t.Fatalf("regions[1] = %+v", regions[1])
+	}
+	if regions[2].Name != "big" || regions[2].Start != 0x3000 {
+		t.Fatalf("regions[2] = %+v", regions[2])
+	}
+}
+
+func TestUnmapRemovesPagesAndRegions(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, 2*PageSize, PermRW, "tmp")
+	if err := a.Unmap(0x1000, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if a.Mapped(0x1000, 1) {
+		t.Fatal("page still mapped after unmap")
+	}
+	if !a.Mapped(0x2000, 1) {
+		t.Fatal("second page should remain mapped")
+	}
+	if _, ok := a.RegionAt(0x1000); ok {
+		t.Fatal("region survives unmap")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, PageSize, PermRW, "data")
+	if err := a.Store(0x1000, []byte{7}, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	if err := c.Store(0x1000, []byte{9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := a.Load(0x1000, 1, 0)
+	if b[0] != 7 {
+		t.Fatalf("clone write leaked into parent: %d", b[0])
+	}
+}
+
+func TestProtectUnmappedFails(t *testing.T) {
+	a := NewAddressSpace()
+	if err := a.Protect(0x1000, PageSize, PermRW); err == nil {
+		t.Fatal("Protect on unmapped range succeeded")
+	}
+}
+
+func TestMapAlignment(t *testing.T) {
+	a := NewAddressSpace()
+	if err := a.Map(0x1001, PageSize, PermRW, "x"); err == nil {
+		t.Fatal("unaligned Map succeeded")
+	}
+	if err := a.Unmap(0x1001, PageSize); err == nil {
+		t.Fatal("unaligned Unmap succeeded")
+	}
+}
+
+func TestU64Helpers(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, PageSize, PermRW, "data")
+	if err := a.StoreU64(0x1008, 0xdeadbeefcafef00d, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.LoadU64(0x1008, 0)
+	if err != nil || v != 0xdeadbeefcafef00d {
+		t.Fatalf("LoadU64 = %#x, %v", v, err)
+	}
+	if err := a.KStoreU64(0x1010, 42); err != nil {
+		t.Fatal(err)
+	}
+	kv, err := a.KLoadU64(0x1010)
+	if err != nil || kv != 42 {
+		t.Fatalf("KLoadU64 = %d, %v", kv, err)
+	}
+}
+
+func TestKLoadString(t *testing.T) {
+	a := NewAddressSpace()
+	mustMap(t, a, 0x1000, PageSize, PermRW, "data")
+	if err := a.KStore(0x1000, append([]byte("hello"), 0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.KLoadString(0x1000, 64)
+	if err != nil || s != "hello" {
+		t.Fatalf("KLoadString = %q, %v", s, err)
+	}
+}
+
+// Property: a round trip through Store/Load preserves arbitrary data at
+// arbitrary in-range offsets.
+func TestQuickStoreLoadRoundTrip(t *testing.T) {
+	a := NewAddressSpace()
+	const base, span = 0x10000, 16 * PageSize
+	mustMap(t, a, base, span, PermRW, "arena")
+
+	f := func(off uint16, data []byte) bool {
+		addr := base + uint64(off)
+		if len(data) == 0 || addr+uint64(len(data)) > base+span {
+			return true
+		}
+		if err := a.Store(addr, data, 0); err != nil {
+			return false
+		}
+		got, err := a.Load(addr, len(data), 0)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PKRU helpers compose: Allow undoes DenyAccess/DenyWrite.
+func TestQuickPKRUCompose(t *testing.T) {
+	f := func(init uint32, key uint8) bool {
+		k := int(key % NumPkeys)
+		p := PKRU(init)
+		if PKRU(init).DenyAccess(k).mayRead(k) || PKRU(init).DenyAccess(k).mayWrite(k) {
+			return false
+		}
+		if PKRU(init).DenyWrite(k).mayWrite(k) {
+			return false
+		}
+		if !PKRU(init).DenyWrite(k).mayRead(k) && p.mayRead(k) {
+			return false
+		}
+		q := p.DenyAccess(k).Allow(k)
+		return q.mayRead(k) && q.mayWrite(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		want string
+	}{
+		{PermNone, "---"},
+		{PermRead, "r--"},
+		{PermRW, "rw-"},
+		{PermRX, "r-x"},
+		{PermRWX, "rwx"},
+		{PermExec, "--x"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", uint8(c.p), got, c.want)
+		}
+	}
+}

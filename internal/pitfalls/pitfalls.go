@@ -1,0 +1,174 @@
+// Package pitfalls implements the System Call Interposition Pitfalls
+// proof-of-concept suite (paper §4): one machine-checkable PoC per
+// pitfall (P1a, P1b, P2a, P2b, P3a, P3b, P4a, P4b, P5), plus the matrix
+// runner that regenerates Table 3 by executing every PoC against every
+// interposer.
+//
+// Each PoC distinguishes a benign input (used when an offline profile is
+// required) from an attack input, mirroring the paper's threat model: the
+// offline phase runs in a controlled environment, the attack happens in
+// production.
+package pitfalls
+
+import (
+	"fmt"
+	"strings"
+
+	"k23/internal/apps"
+	"k23/internal/core"
+	"k23/internal/interpose"
+	"k23/internal/interpose/variants"
+	"k23/internal/kernel"
+)
+
+// Result is one cell of the Table 3 matrix.
+type Result struct {
+	Pitfall    string
+	Interposer string
+	Handled    bool
+	Detail     string
+}
+
+// PoC is one pitfall proof of concept.
+type PoC struct {
+	// ID is the paper's pitfall label ("P1a" ... "P5").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run executes the PoC under the given variant and reports whether
+	// the interposer handles the pitfall.
+	Run func(spec variants.Spec) (handled bool, detail string, err error)
+}
+
+// All returns the PoCs in paper order.
+func All() []PoC {
+	return []PoC{
+		{ID: "P1a", Title: "Interposition bypass via environment scrubbing (Listing 1)", Run: runP1a},
+		{ID: "P1b", Title: "Interposition bypass via prctl SUD-off (Listing 2)", Run: runP1b},
+		{ID: "P2a", Title: "System call overlook: code loaded after rewriting", Run: runP2a},
+		{ID: "P2b", Title: "System call overlook: startup and vdso calls", Run: runP2b},
+		{ID: "P3a", Title: "Misidentification: embedded data rewritten (disassembly)", Run: runP3a},
+		{ID: "P3b", Title: "Misidentification: hijacked partial instruction rewritten", Run: runP3b},
+		{ID: "P4a", Title: "NULL-code-pointer execution diverted into the trampoline", Run: runP4a},
+		{ID: "P4b", Title: "NULL-execution-check memory overhead", Run: runP4b},
+		{ID: "P5", Title: "Runtime rewriting: torn writes, stale I-cache, lost permissions", Run: runP5},
+	}
+}
+
+// Matrix runs every PoC against every given variant.
+func Matrix(specs []variants.Spec) ([]Result, error) {
+	var out []Result
+	for _, poc := range All() {
+		for _, spec := range specs {
+			handled, detail, err := poc.Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("pitfalls: %s under %s: %w", poc.ID, spec.Name, err)
+			}
+			out = append(out, Result{
+				Pitfall:    poc.ID,
+				Interposer: spec.Name,
+				Handled:    handled,
+				Detail:     detail,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatMatrix renders results as the Table 3 grid.
+func FormatMatrix(results []Result) string {
+	cols := []string{}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.Interposer] {
+			seen[r.Interposer] = true
+			cols = append(cols, r.Interposer)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %-16s", c)
+	}
+	b.WriteByte('\n')
+	byPitfall := map[string]map[string]Result{}
+	var order []string
+	for _, r := range results {
+		if byPitfall[r.Pitfall] == nil {
+			byPitfall[r.Pitfall] = map[string]Result{}
+			order = append(order, r.Pitfall)
+		}
+		byPitfall[r.Pitfall][r.Interposer] = r
+	}
+	for _, pid := range order {
+		fmt.Fprintf(&b, "%-6s", pid)
+		for _, c := range cols {
+			mark := "?"
+			if r, ok := byPitfall[pid][c]; ok {
+				if r.Handled {
+					mark = "YES"
+				} else {
+					mark = "no"
+				}
+			}
+			fmt.Fprintf(&b, " %-16s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// shared harness
+// ---------------------------------------------------------------------
+
+// world builds a fresh world with the PoC binaries and workload apps
+// registered.
+func world() *interpose.World {
+	w := interpose.NewWorld()
+	apps.RegisterAll(w.Reg)
+	_ = apps.SetupFS(w.K.FS)
+	registerPoCBinaries(w)
+	return w
+}
+
+// launcherFor constructs the launcher for a spec, running the offline
+// phase with benign arguments first when the variant needs a log.
+func launcherFor(w *interpose.World, spec variants.Spec, cfg interpose.Config,
+	target string, benignArgv []string) (interpose.Launcher, error) {
+	logPath := ""
+	if spec.NeedsOfflineLog {
+		off := &core.Offline{LogDir: "/var/k23/logs"}
+		run, err := off.Start(w, target, benignArgv, nil)
+		if err != nil {
+			return nil, err
+		}
+		// PoC binaries are self-contained; signal deaths during the
+		// offline run (e.g. a deliberately crashing benign path) still
+		// produce a usable log.
+		_ = w.K.RunUntilExit(run.Process(), 200_000_000)
+		if _, err := run.Finish(); err != nil {
+			return nil, err
+		}
+		name := target[strings.LastIndexByte(target, '/')+1:]
+		logPath = off.LogPath(name)
+	}
+	return spec.New(cfg, logPath), nil
+}
+
+// runUnder launches target under the spec with the hook config, runs it
+// to completion (tolerating signal deaths), and returns launcher+process.
+func runUnder(spec variants.Spec, cfg interpose.Config, target string,
+	benignArgv, attackArgv []string) (*interpose.World, interpose.Launcher, *kernel.Process, error) {
+	w := world()
+	l, err := launcherFor(w, spec, cfg, target, benignArgv)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := l.Launch(w, target, attackArgv, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	_ = w.K.RunUntilExit(p, 200_000_000)
+	return w, l, p, nil
+}

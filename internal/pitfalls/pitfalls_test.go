@@ -1,0 +1,83 @@
+package pitfalls
+
+import (
+	"strings"
+	"testing"
+
+	"k23/internal/interpose/variants"
+)
+
+// specByName fetches a variant spec.
+func specByName(t *testing.T, name string) variants.Spec {
+	t.Helper()
+	s, ok := variants.ByName(name)
+	if !ok {
+		t.Fatalf("no variant %q", name)
+	}
+	return s
+}
+
+// expectTable3 mirrors the paper's Table 3: pitfall -> interposer ->
+// handled. "zpoline" here is zpoline-ultra (the published system includes
+// its NULL-execution check); "k23" is k23-ultra+.
+var expectTable3 = map[string]map[string]bool{
+	"P1a": {"zpoline-ultra": false, "lazypoline": false, "k23-ultra+": true},
+	"P1b": {"zpoline-ultra": true, "lazypoline": false, "k23-ultra+": true},
+	"P2a": {"zpoline-ultra": false, "lazypoline": true, "k23-ultra+": true},
+	"P2b": {"zpoline-ultra": false, "lazypoline": false, "k23-ultra+": true},
+	"P3a": {"zpoline-ultra": false, "lazypoline": true, "k23-ultra+": true},
+	"P3b": {"zpoline-ultra": true, "lazypoline": false, "k23-ultra+": true},
+	"P4a": {"zpoline-ultra": true, "lazypoline": false, "k23-ultra+": true},
+	"P4b": {"zpoline-ultra": false, "lazypoline": true, "k23-ultra+": true},
+	"P5":  {"zpoline-ultra": true, "lazypoline": false, "k23-ultra+": true},
+}
+
+func runPoC(t *testing.T, id, variant string) (bool, string) {
+	t.Helper()
+	for _, poc := range All() {
+		if poc.ID != id {
+			continue
+		}
+		handled, detail, err := poc.Run(specByName(t, variant))
+		if err != nil {
+			t.Fatalf("%s under %s: %v", id, variant, err)
+		}
+		return handled, detail
+	}
+	t.Fatalf("no PoC %q", id)
+	return false, ""
+}
+
+// One test per pitfall, asserting all three Table 3 columns.
+func testPitfall(t *testing.T, id string) {
+	for variant, want := range expectTable3[id] {
+		variant, want := variant, want
+		t.Run(variant, func(t *testing.T) {
+			got, detail := runPoC(t, id, variant)
+			if got != want {
+				t.Errorf("%s under %s: handled=%v, want %v (%s)", id, variant, got, want, detail)
+			}
+		})
+	}
+}
+
+func TestP1aMatrix(t *testing.T) { testPitfall(t, "P1a") }
+func TestP1bMatrix(t *testing.T) { testPitfall(t, "P1b") }
+func TestP2aMatrix(t *testing.T) { testPitfall(t, "P2a") }
+func TestP2bMatrix(t *testing.T) { testPitfall(t, "P2b") }
+func TestP3aMatrix(t *testing.T) { testPitfall(t, "P3a") }
+func TestP3bMatrix(t *testing.T) { testPitfall(t, "P3b") }
+func TestP4aMatrix(t *testing.T) { testPitfall(t, "P4a") }
+func TestP4bMatrix(t *testing.T) { testPitfall(t, "P4b") }
+func TestP5Matrix(t *testing.T)  { testPitfall(t, "P5") }
+
+func TestFormatMatrix(t *testing.T) {
+	res := []Result{
+		{Pitfall: "P1a", Interposer: "zpoline-ultra", Handled: false},
+		{Pitfall: "P1a", Interposer: "k23-ultra+", Handled: true},
+	}
+	out := FormatMatrix(res)
+	if !strings.Contains(out, "P1a") || !strings.Contains(out, "no") || !strings.Contains(out, "YES") {
+		t.Fatalf("matrix format:\n%s", out)
+	}
+}

@@ -1,0 +1,120 @@
+// Package ptracer implements a ptrace-based interposer: a cross-process
+// tracer that observes every system call from the tracee's very first
+// instruction — the only commodity mechanism with that property (paper
+// §5.2) — at the price of two stop round-trips per call. It is both the
+// slow exhaustive baseline and the startup-phase component K23 builds on.
+package ptracer
+
+import (
+	"k23/internal/cpu"
+	"k23/internal/interpose"
+	"k23/internal/kernel"
+	"k23/internal/loader"
+)
+
+// Ptracer is the Launcher.
+type Ptracer struct {
+	Config interpose.Config
+	// KeepVDSO leaves the vdso mapped. By default the ptracer disables
+	// it so vdso-reachable calls become real, traceable syscalls.
+	KeepVDSO bool
+}
+
+// New returns a ptrace launcher.
+func New(cfg interpose.Config) *Ptracer {
+	return &Ptracer{Config: cfg}
+}
+
+// Name implements interpose.Launcher.
+func (pt *Ptracer) Name() string { return "ptrace" }
+
+// state is per-process interposition state.
+type state struct {
+	stats interpose.Stats
+	last  map[int]*interpose.Call
+}
+
+// tracer adapts the Config to the kernel's Tracer interface.
+type tracer struct {
+	pt *Ptracer
+	st *state
+}
+
+var _ kernel.Tracer = (*tracer)(nil)
+
+// SyscallEnter implements kernel.Tracer.
+func (tr *tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site uint64) bool {
+	tr.st.stats.Ptraced++
+	regs := k.TraceeRegs(t)
+	call := &interpose.Call{
+		Kernel: k, Thread: t,
+		Num:       nr,
+		Site:      site,
+		Mechanism: interpose.MechPtrace,
+	}
+	for i := range call.Args {
+		call.Args[i] = regs.Arg(i)
+	}
+	tr.st.last[t.TID] = call
+	if tr.pt.Config.Hook == nil {
+		return false
+	}
+	ret, emulated := tr.pt.Config.Hook(call)
+	if emulated {
+		regs.R[cpu.RAX] = ret
+		return true
+	}
+	regs.R[cpu.RAX] = call.Num
+	for i, a := range call.Args {
+		regs.SetArg(i, a)
+	}
+	return false
+}
+
+// SyscallExit implements kernel.Tracer.
+func (tr *tracer) SyscallExit(k *kernel.Kernel, t *kernel.Thread, nr, ret uint64) {
+	if tr.pt.Config.ResultHook == nil {
+		return
+	}
+	call := tr.st.last[t.TID]
+	if call == nil {
+		call = &interpose.Call{Kernel: k, Thread: t, Num: nr, Mechanism: interpose.MechPtrace}
+	}
+	newRet := tr.pt.Config.ResultHook(call, ret)
+	if newRet != ret {
+		k.TraceeRegs(t).R[cpu.RAX] = newRet
+	}
+}
+
+// Execve implements kernel.Tracer: the plain ptracer stays attached
+// across exec (Linux semantics) and does not rewrite the environment.
+func (tr *tracer) Execve(k *kernel.Kernel, t *kernel.Thread, path string, argv, env []string) []string {
+	return nil
+}
+
+// Launch implements interpose.Launcher.
+func (pt *Ptracer) Launch(w *interpose.World, path string, argv, env []string) (*kernel.Process, error) {
+	st := &state{last: make(map[int]*interpose.Call)}
+	opts := []loader.SpawnOption{
+		loader.WithTracer(&tracer{pt: pt, st: st}),
+		loader.WithPreInit(func(p *kernel.Process, t *kernel.Thread) error {
+			p.Interposer = st
+			return nil
+		}),
+	}
+	if !pt.KeepVDSO {
+		opts = append(opts, loader.WithDisableVDSO())
+	}
+	return w.L.Spawn(path, argv, env, opts...)
+}
+
+// Stats implements interpose.Launcher.
+func (pt *Ptracer) Stats(p *kernel.Process) *interpose.Stats {
+	st, ok := p.Interposer.(*state)
+	if !ok {
+		return &interpose.Stats{}
+	}
+	return &st.stats
+}
+
+var _ interpose.Launcher = (*Ptracer)(nil)

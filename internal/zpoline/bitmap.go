@@ -1,0 +1,44 @@
+package zpoline
+
+// Bitmap models zpoline's address-space-spanning rewritten-site bitmap
+// (paper §4.4): one bit per virtual address across the 47-bit user
+// address space. The virtual reservation is what pitfall P4b charges
+// zpoline with; physical pages materialize only where bits are set. The
+// host-side implementation is sparse, but reserved/resident accounting
+// mirrors the real structure.
+type Bitmap struct {
+	words    map[uint64]uint64 // word index -> bits
+	resident map[uint64]bool   // distinct resident 4 KiB bitmap pages
+}
+
+// AddressSpaceBits is the user virtual address width covered.
+const AddressSpaceBits = 47
+
+// NewBitmap returns an empty bitmap.
+func NewBitmap() *Bitmap {
+	return &Bitmap{
+		words:    make(map[uint64]uint64),
+		resident: make(map[uint64]bool),
+	}
+}
+
+// Set marks addr as a rewritten site.
+func (b *Bitmap) Set(addr uint64) {
+	word := addr / 64
+	b.words[word] |= 1 << (addr % 64)
+	// One bitmap byte covers 8 addresses; one resident page covers
+	// 8*4096 addresses.
+	b.resident[addr/(8*4096)] = true
+}
+
+// Get reports whether addr is marked.
+func (b *Bitmap) Get(addr uint64) bool {
+	return b.words[addr/64]&(1<<(addr%64)) != 0
+}
+
+// ReservedBytes is the virtual reservation: 2^47 addresses / 8 bits per
+// byte = 16 TiB per process.
+func (b *Bitmap) ReservedBytes() uint64 { return uint64(1) << (AddressSpaceBits - 3) }
+
+// ResidentBytes is the physically backed portion.
+func (b *Bitmap) ResidentBytes() uint64 { return uint64(len(b.resident)) * 4096 }
