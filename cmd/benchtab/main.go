@@ -9,6 +9,7 @@
 //	benchtab -table all
 //	benchtab -figure 1
 //	benchtab -claim startup
+//	benchtab -claim decodecache
 package main
 
 import (
@@ -24,11 +25,11 @@ import (
 func main() {
 	table := flag.String("table", "", "regenerate a table: 2, 3, 5, 6, or all")
 	figure := flag.String("figure", "", "regenerate a figure's content: 1, 2, or 4")
-	claim := flag.String("claim", "", "measure a standalone claim: startup or p4b")
+	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b or decodecache")
 	flag.Parse()
 
 	if *table == "" && *figure == "" && *claim == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b")
+		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache")
 		os.Exit(2)
 	}
 
@@ -143,6 +144,30 @@ func main() {
 				return err
 			}
 			fmt.Print(s)
+			return nil
+		})
+	case "decodecache":
+		run("Claim — decoded-instruction cache simulator speedup", func() error {
+			var pairs [][2]bench.DecodeCacheRun
+			microOn, err := bench.MeasureDecodeCacheMicro(3000, false)
+			if err != nil {
+				return err
+			}
+			microOff, err := bench.MeasureDecodeCacheMicro(3000, true)
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, [2]bench.DecodeCacheRun{microOn, microOff})
+			macroOn, err := bench.MeasureDecodeCacheMacro(200, false)
+			if err != nil {
+				return err
+			}
+			macroOff, err := bench.MeasureDecodeCacheMacro(200, true)
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, [2]bench.DecodeCacheRun{macroOn, macroOff})
+			fmt.Print(bench.FormatDecodeCache(pairs))
 			return nil
 		})
 	default:

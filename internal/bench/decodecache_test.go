@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+// TestDecodeCacheParity: cached and uncached runs retire exactly the
+// same number of guest instructions (the cache is invisible to the
+// guest), the uncached run records no cache activity, and the hot loops
+// hit almost always.
+func TestDecodeCacheParity(t *testing.T) {
+	t.Run("micro", func(t *testing.T) {
+		on, err := MeasureDecodeCacheMicro(300, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := MeasureDecodeCacheMicro(300, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkParity(t, on, off)
+	})
+	t.Run("redis", func(t *testing.T) {
+		on, err := MeasureDecodeCacheMacro(10, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := MeasureDecodeCacheMacro(10, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkParity(t, on, off)
+	})
+}
+
+func checkParity(t *testing.T, on, off DecodeCacheRun) {
+	t.Helper()
+	if on.Steps != off.Steps {
+		t.Errorf("retired instructions differ: cached=%d uncached=%d", on.Steps, off.Steps)
+	}
+	if off.Stats.Hits != 0 || off.Stats.Misses != 0 {
+		t.Errorf("uncached run recorded cache activity: %+v", off.Stats)
+	}
+	if hr := on.Stats.HitRate(); hr < 0.90 {
+		t.Errorf("hit rate = %.3f, want >= 0.90 (%+v over %d steps)", hr, on.Stats, on.Steps)
+	}
+}

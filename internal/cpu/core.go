@@ -126,6 +126,49 @@ type cacheLine struct {
 	gen  uint64 // page generation at fill time
 }
 
+// DecodeCacheStats counts decoded-instruction cache activity.
+type DecodeCacheStats struct {
+	// Hits counts fetches served from the decode cache (no re-decode).
+	Hits uint64
+	// Misses counts fetches that went through the full
+	// fetch/EncodedLen/Decode path and installed a cache entry.
+	Misses uint64
+	// Invalidations counts entries dropped eagerly by the core's own
+	// stores (self-modifying code).
+	Invalidations uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 when nothing was fetched.
+func (s DecodeCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Add accumulates other into s.
+func (s *DecodeCacheStats) Add(other DecodeCacheStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Invalidations += other.Invalidations
+}
+
+// dcacheEntry is one decoded instruction, keyed by RIP. lineGen snapshots
+// the write generation of each cache line the encoding covers at decode
+// time; a lookup revalidates those generations (against the resident
+// I-cache line if present, against memory otherwise), which is what makes
+// the cache an optimisation and not a semantic change: an entry is only
+// replayed when the uncached fetch path would have produced the same
+// bytes.
+type dcacheEntry struct {
+	inst    Inst
+	bytes   [MaxInstLen]byte
+	lineNum [2]uint64 // I-cache line numbers covered (MaxInstLen < lineSize ⇒ at most 2)
+	lineGen [2]uint64 // page generation of each line when the entry was built
+	nLines  int
+}
+
 // Core executes instructions for one thread. Each thread runs on its own
 // core (the paper's P5 scenarios are cross-core), so each Core has a
 // private instruction cache.
@@ -161,28 +204,140 @@ type Core struct {
 	LastCMC       *CMCEvent
 
 	// Coherent, if set, disables staleness (every fetch revalidates
-	// against memory). Used to contrast correct behaviour in tests.
+	// against memory). Used to contrast correct behaviour in tests. It
+	// also bypasses the decode cache entirely.
 	Coherent bool
 
+	// DecodeCacheOff disables the decoded-instruction cache, forcing
+	// every fetch through the full fetch/EncodedLen/Decode path. The
+	// differential test harness uses it to prove cached and uncached
+	// execution are bit-identical.
+	DecodeCacheOff bool
+
+	// DecodeStats counts decode cache hits, misses and invalidations.
+	DecodeStats DecodeCacheStats
+
+	// StepTrace, if non-nil, is called once per successfully decoded
+	// instruction with the fetch address and opcode, before execution.
+	// Used by the differential harness to hash instruction traces.
+	StepTrace func(rip uint64, op Op)
+
 	icache map[uint64]*cacheLine
+
+	// dcache caches decoded instructions by RIP; dcacheByLine maps an
+	// I-cache line number to the RIPs of entries whose encoding covers
+	// it, so own-store invalidation does not scan the whole cache.
+	dcache       map[uint64]*dcacheEntry
+	dcacheByLine map[uint64]map[uint64]struct{}
 }
 
 // NewCore returns a core bound to the given address space.
 func NewCore(as *mem.AddressSpace) *Core {
-	return &Core{AS: as, icache: make(map[uint64]*cacheLine)}
+	return &Core{
+		AS:           as,
+		icache:       make(map[uint64]*cacheLine),
+		dcache:       make(map[uint64]*dcacheEntry),
+		dcacheByLine: make(map[uint64]map[uint64]struct{}),
+	}
 }
 
 // FlushICache discards all cached instruction lines (a serialization
 // point).
+//
+// The decode cache is deliberately NOT flushed here: its entries are
+// generation-checked on every lookup, so after a flush an entry is only
+// replayed if re-reading memory would return the exact bytes it was built
+// from. Flushing it would defeat the cache entirely — the kernel
+// serializes on every syscall.
 func (c *Core) FlushICache() {
 	for k := range c.icache {
 		delete(c.icache, k)
 	}
 }
 
-// invalidateLine drops the cached line containing addr, if present.
+// invalidateLine drops the cached line containing addr, if present, along
+// with any decoded-instruction entries whose encoding covers the line
+// (the same-core self-modifying-code rule).
 func (c *Core) invalidateLine(addr uint64) {
-	delete(c.icache, addr/cacheLineSize)
+	line := addr / cacheLineSize
+	delete(c.icache, line)
+	if rips := c.dcacheByLine[line]; len(rips) > 0 {
+		for rip := range rips {
+			if _, ok := c.dcache[rip]; ok {
+				delete(c.dcache, rip)
+				c.DecodeStats.Invalidations++
+			}
+		}
+		delete(c.dcacheByLine, line)
+	}
+}
+
+// lookupDecoded consults the decode cache for the instruction at rip. A
+// hit must be indistinguishable from the uncached path, so each covered
+// line is revalidated:
+//
+//   - line resident in the I-cache: hit only if the line's generation
+//     equals the entry's snapshot (the entry was decoded from exactly the
+//     resident bytes). The usual one-staleness-check-per-line then runs
+//     against memory, so P5 stale-fetch hazards are still detected — and,
+//     crucially, the stale cached bytes are still EXECUTED, exactly as
+//     the unserialized I-cache model demands.
+//   - line not resident (e.g. after FlushICache): the uncached path would
+//     refill from memory, so the entry may only be replayed if memory
+//     still carries the generation it was decoded at. The refilled line
+//     is installed into the I-cache to keep the side effects identical.
+func (c *Core) lookupDecoded(rip uint64) (Inst, []byte, bool) {
+	e, ok := c.dcache[rip]
+	if !ok {
+		return Inst{}, nil, false
+	}
+	staleAny := false
+	for i := 0; i < e.nLines; i++ {
+		lineNum := e.lineNum[i]
+		if ln, resident := c.icache[lineNum]; resident {
+			if ln.gen != e.lineGen[i] {
+				return Inst{}, nil, false
+			}
+			if ln.gen != c.AS.Gen(ln.base) {
+				staleAny = true
+			}
+			continue
+		}
+		ln := &cacheLine{base: lineNum * cacheLineSize}
+		gen, err := c.AS.FetchLine(ln.base, ln.data[:])
+		if err != nil || gen != e.lineGen[i] {
+			return Inst{}, nil, false
+		}
+		ln.gen = gen
+		c.icache[lineNum] = ln
+	}
+	c.DecodeStats.Hits++
+	bytes := e.bytes[:e.inst.Len]
+	c.noteStaleness(e.inst, bytes, staleAny)
+	return e.inst, bytes, true
+}
+
+// installDecoded records a freshly decoded instruction. All covered lines
+// are resident (fetchInst just pulled them through fetchByte).
+func (c *Core) installDecoded(rip uint64, inst Inst, bytes []byte) {
+	e := &dcacheEntry{inst: inst}
+	copy(e.bytes[:], bytes)
+	first := rip / cacheLineSize
+	last := (rip + uint64(inst.Len) - 1) / cacheLineSize
+	for l := first; l <= last; l++ {
+		e.lineNum[e.nLines] = l
+		if ln := c.icache[l]; ln != nil {
+			e.lineGen[e.nLines] = ln.gen
+		}
+		e.nLines++
+		set, ok := c.dcacheByLine[l]
+		if !ok {
+			set = make(map[uint64]struct{})
+			c.dcacheByLine[l] = set
+		}
+		set[rip] = struct{}{}
+	}
+	c.dcache[rip] = e
 }
 
 // fetchByte returns the instruction byte at addr through the I-cache,
@@ -204,42 +359,34 @@ func (c *Core) fetchByte(addr uint64) (b byte, ln *cacheLine, err error) {
 }
 
 // fetchInst fetches and decodes the instruction at RIP, honouring the
-// I-cache staleness model. The encoding length is derived from the first
-// byte (or first two, for prefixed encodings) so each instruction is
-// decoded exactly once.
+// I-cache staleness model. A decode-cache hit skips the whole
+// fetch/EncodedLen/Decode path; a miss derives the encoding length from
+// the first byte (or first two, for prefixed encodings) so each
+// instruction is decoded exactly once, then installs a cache entry.
 func (c *Core) fetchInst() (Inst, []byte, error) {
-	var buf [MaxInstLen]byte
 	rip := c.Ctx.RIP
-
-	var lines [2]*cacheLine // distinct cached lines touched (<= 2)
-
-	note := func(ln *cacheLine) {
-		if ln == nil {
-			return
-		}
-		if lines[0] == nil || lines[0] == ln {
-			lines[0] = ln
-		} else {
-			lines[1] = ln
+	useCache := !c.DecodeCacheOff && !c.Coherent
+	if useCache {
+		if inst, bytes, ok := c.lookupDecoded(rip); ok {
+			return inst, bytes, nil
 		}
 	}
 
-	b0, ln0, err := c.fetchByte(rip)
+	var buf [MaxInstLen]byte
+	b0, _, err := c.fetchByte(rip)
 	if err != nil {
 		return Inst{}, nil, err
 	}
 	buf[0] = b0
-	note(ln0)
 	have := 1
 
 	n, needSecond := EncodedLen(b0, 0, 1)
 	if needSecond {
-		b1, ln1, err := c.fetchByte(rip + 1)
+		b1, _, err := c.fetchByte(rip + 1)
 		if err != nil {
 			return Inst{}, nil, err
 		}
 		buf[1] = b1
-		note(ln1)
 		have = 2
 		n, _ = EncodedLen(b0, b1, 2)
 	}
@@ -247,25 +394,35 @@ func (c *Core) fetchInst() (Inst, []byte, error) {
 		return Inst{}, buf[:have], &DecodeError{Byte: b0}
 	}
 	for i := have; i < n; i++ {
-		bi, lni, err := c.fetchByte(rip + uint64(i))
+		bi, _, err := c.fetchByte(rip + uint64(i))
 		if err != nil {
 			return Inst{}, nil, err
 		}
 		buf[i] = bi
-		note(lni)
 	}
 	inst, derr := Decode(buf[:n])
 	if derr != nil {
 		return Inst{}, buf[:n], derr
 	}
-	// One staleness check per cached line touched.
+	// One staleness check per distinct line the encoding covers (at most
+	// two, since MaxInstLen < cacheLineSize). Every covered line is
+	// resident at this point — fetchByte fills on miss — and a line
+	// filled during this very fetch trivially passes the check, which is
+	// exactly the old behaviour: only lines that were already cached can
+	// be stale.
 	staleAny := false
-	for _, ln := range lines {
-		if ln != nil && ln.gen != c.AS.Gen(ln.base) {
+	first := rip / cacheLineSize
+	last := (rip + uint64(n) - 1) / cacheLineSize
+	for l := first; l <= last; l++ {
+		if ln := c.icache[l]; ln != nil && ln.gen != c.AS.Gen(ln.base) {
 			staleAny = true
 		}
 	}
 	c.noteStaleness(inst, buf[:inst.Len], staleAny)
+	if useCache {
+		c.DecodeStats.Misses++
+		c.installDecoded(rip, inst, buf[:inst.Len])
+	}
 	return inst, buf[:inst.Len], nil
 }
 
@@ -330,6 +487,9 @@ func (c *Core) Step() Stop {
 			return Stop{Kind: StopFault, Fault: f, Site: site}
 		}
 		return Stop{Kind: StopIll, Site: site}
+	}
+	if c.StepTrace != nil {
+		c.StepTrace(site, inst.Op)
 	}
 
 	c.Cycles += InstCost(inst.Op)

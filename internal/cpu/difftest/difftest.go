@@ -1,0 +1,207 @@
+// Package difftest is a differential test harness for the decoded-
+// instruction cache in internal/cpu: it runs whole workloads — every
+// internal/apps program and every internal/pitfalls PoC — once with the
+// cache enabled and once with it disabled, and asserts the two executions
+// are bit-identical: same per-step instruction trace, same kernel event
+// (syscall) sequence, same final register files, same CMC-violation
+// counts, same process output and exit status, and same final VFS state.
+//
+// The cache is only an optimisation if this holds for everything the
+// repository can run; the P5 pitfall family executes deliberately stale
+// instruction bytes, so this is exactly the kind of optimisation that can
+// silently break the paper's semantics.
+package difftest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"k23/internal/apps"
+	"k23/internal/cpu"
+	"k23/internal/interpose"
+	"k23/internal/kernel"
+	"k23/internal/vfs"
+)
+
+// ThreadState is the architecturally visible final state of one thread.
+type ThreadState struct {
+	TID           int
+	Ctx           cpu.Context
+	TLS           uint64
+	Insts         uint64
+	Cycles        uint64
+	CMCViolations uint64
+}
+
+// Snapshot captures everything observable about one workload execution.
+// Two runs of the same workload must produce equal Snapshots regardless
+// of the decode cache mode.
+type Snapshot struct {
+	// TraceHash is an FNV-1a hash over the (tid, rip, op) stream of
+	// every retired instruction on every core, in scheduling order.
+	TraceHash uint64
+	// Steps is the number of trace entries hashed.
+	Steps uint64
+	// Events is the kernel event stream (syscall enters/exits, signals,
+	// forks, execs), formatted.
+	Events []string
+	// Threads is the final state of every thread of the workload
+	// process, ordered by TID.
+	Threads []ThreadState
+	// Stdout, Stderr and Exit are the process's outputs.
+	Stdout string
+	Stderr string
+	Exit   kernel.ExitInfo
+	// VFSHash is a hash of the final filesystem tree (paths, modes and
+	// contents).
+	VFSHash uint64
+}
+
+// Workload describes one program to run under the harness.
+type Workload struct {
+	Name     string
+	Path     string
+	Argv     []string
+	Server   bool // drive with injected connections
+	Requests int  // requests per injected connection
+}
+
+// AppWorkloads returns the full internal/apps program matrix (the
+// Table 2 set).
+func AppWorkloads() []Workload {
+	return []Workload{
+		{Name: "pwd", Path: apps.PwdPath, Argv: []string{"pwd"}},
+		{Name: "touch", Path: apps.TouchPath, Argv: []string{"touch", "/data/new.txt"}},
+		{Name: "ls", Path: apps.LsPath, Argv: []string{"ls", "/data"}},
+		{Name: "cat", Path: apps.CatPath, Argv: []string{"cat", "/data/notes.txt"}},
+		{Name: "clear", Path: apps.ClearPath, Argv: []string{"clear"}},
+		{Name: "sqlite", Path: apps.SqlitePath, Argv: []string{"sqlite3"}},
+		{Name: "nginx", Path: apps.NginxPath, Argv: []string{"nginx", "0"}, Server: true, Requests: 10},
+		{Name: "lighttpd", Path: apps.LighttpdPath, Argv: []string{"lighttpd", "0"}, Server: true, Requests: 10},
+		{Name: "redis", Path: apps.RedisPath, Argv: []string{"redis-server", "1"}, Server: true, Requests: 10},
+	}
+}
+
+// Run executes one workload natively (no interposer) with the decode
+// cache enabled or disabled and returns its observable snapshot.
+func Run(w Workload, cacheOff bool) (*Snapshot, error) {
+	world := interpose.NewWorld()
+	world.K.DecodeCacheOff = cacheOff
+	apps.RegisterAll(world.Reg)
+	if err := apps.SetupFS(world.K.FS); err != nil {
+		return nil, err
+	}
+
+	snap := &Snapshot{}
+	h := fnv.New64a()
+	var scratch [20]byte
+	world.K.StepTrace = func(tid int, rip uint64, op cpu.Op) {
+		le32(scratch[0:4], uint32(tid))
+		le64(scratch[4:12], rip)
+		le64(scratch[12:20], uint64(op))
+		h.Write(scratch[:])
+		snap.Steps++
+	}
+	world.K.EventHook = func(e kernel.Event) {
+		snap.Events = append(snap.Events, fmt.Sprintf(
+			"%d/%d %s num=%d site=%#x ret=%#x %s",
+			e.PID, e.TID, e.Kind, e.Num, e.Site, e.Ret, e.Detail))
+	}
+
+	p, err := world.L.Spawn(w.Path, w.Argv, nil)
+	if err != nil {
+		return nil, err
+	}
+	if w.Server {
+		if err := drive(world, p, w.Requests); err != nil {
+			return nil, err
+		}
+	}
+	if err := world.Run(p); err != nil {
+		return nil, err
+	}
+
+	snap.TraceHash = h.Sum64()
+	for _, t := range p.Threads {
+		snap.Threads = append(snap.Threads, ThreadState{
+			TID:           t.TID,
+			Ctx:           t.Core.Ctx,
+			TLS:           t.Core.TLS,
+			Insts:         t.Core.Insts,
+			Cycles:        t.Core.Cycles,
+			CMCViolations: t.Core.CMCViolations,
+		})
+	}
+	sort.Slice(snap.Threads, func(i, j int) bool {
+		return snap.Threads[i].TID < snap.Threads[j].TID
+	})
+	snap.Stdout = string(p.Stdout)
+	snap.Stderr = string(p.Stderr)
+	snap.Exit = p.Exit
+	snap.VFSHash = HashFS(world.K.FS)
+	return snap, nil
+}
+
+// drive waits for the server to listen, then injects one keepalive
+// connection carrying n requests.
+func drive(world *interpose.World, p *kernel.Process, n int) error {
+	req := make([]byte, apps.RequestSize)
+	for i := range req {
+		req[i] = byte('A' + i%26)
+	}
+	port := apps.BasePort + p.PID
+	for i := 0; i < 2000; i++ {
+		world.K.Run(10_000)
+		if err := world.K.InjectConn(port, req, n, nil); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("difftest: server on port %d never listened", port)
+}
+
+// HashFS hashes the filesystem tree: every path with its mode and
+// content, in sorted order.
+func HashFS(fs *vfs.FS) uint64 {
+	h := fnv.New64a()
+	var walk func(dir string)
+	walk = func(dir string) {
+		names, err := fs.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(h, "!%s:%v", dir, err)
+			return
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := dir + "/" + name
+			if dir == "/" {
+				p = "/" + name
+			}
+			if fs.IsDir(p) {
+				fmt.Fprintf(h, "d %s\n", p)
+				walk(p)
+				continue
+			}
+			mode, _ := fs.Mode(p)
+			data, err := fs.ReadFile(p)
+			if err != nil {
+				fmt.Fprintf(h, "f %s %v !%v\n", p, mode, err)
+				continue
+			}
+			fmt.Fprintf(h, "f %s %v %d ", p, mode, len(data))
+			h.Write(data)
+			h.Write([]byte{'\n'})
+		}
+	}
+	walk("/")
+	return h.Sum64()
+}
+
+func le32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func le64(b []byte, v uint64) {
+	le32(b[0:4], uint32(v))
+	le32(b[4:8], uint32(v>>32))
+}

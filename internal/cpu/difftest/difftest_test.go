@@ -1,0 +1,89 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+
+	"k23/internal/interpose/variants"
+	"k23/internal/kernel"
+	"k23/internal/pitfalls"
+)
+
+// TestAppsCacheOnOffIdentical runs every internal/apps program with the
+// decode cache enabled and disabled and requires bit-identical
+// executions: instruction traces, syscall event streams, final register
+// files, CMC counts, output, exit status and VFS state.
+func TestAppsCacheOnOffIdentical(t *testing.T) {
+	for _, w := range AppWorkloads() {
+		t.Run(w.Name, func(t *testing.T) {
+			on, err := Run(w, false)
+			if err != nil {
+				t.Fatalf("cache-on run: %v", err)
+			}
+			off, err := Run(w, true)
+			if err != nil {
+				t.Fatalf("cache-off run: %v", err)
+			}
+			diffSnapshots(t, on, off)
+		})
+	}
+}
+
+// TestPitfallMatrixCacheOnOffIdentical regenerates the full Table 3
+// pitfall matrix (every PoC P1a..P5 against zpoline/lazypoline/K23) in
+// both cache modes and requires identical verdicts and details. The PoCs
+// build their worlds internally, so the mode is set through the kernel
+// package default.
+func TestPitfallMatrixCacheOnOffIdentical(t *testing.T) {
+	specs := variants.Table3Columns()
+	runMatrix := func(off bool) []pitfalls.Result {
+		prev := kernel.DecodeCacheOffDefault
+		kernel.DecodeCacheOffDefault = off
+		defer func() { kernel.DecodeCacheOffDefault = prev }()
+		res, err := pitfalls.Matrix(specs)
+		if err != nil {
+			t.Fatalf("matrix (cacheOff=%v): %v", off, err)
+		}
+		return res
+	}
+	on := runMatrix(false)
+	off := runMatrix(true)
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("pitfall matrix differs between cache modes:\n on: %v\noff: %v", on, off)
+	}
+}
+
+func diffSnapshots(t *testing.T, on, off *Snapshot) {
+	t.Helper()
+	if on.Steps != off.Steps {
+		t.Errorf("step counts differ: on=%d off=%d", on.Steps, off.Steps)
+	}
+	if on.TraceHash != off.TraceHash {
+		t.Errorf("instruction trace hashes differ: on=%#x off=%#x", on.TraceHash, off.TraceHash)
+	}
+	if len(on.Events) != len(off.Events) {
+		t.Errorf("event counts differ: on=%d off=%d", len(on.Events), len(off.Events))
+	} else {
+		for i := range on.Events {
+			if on.Events[i] != off.Events[i] {
+				t.Errorf("event %d differs:\n on: %s\noff: %s", i, on.Events[i], off.Events[i])
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(on.Threads, off.Threads) {
+		t.Errorf("final thread states differ:\n on: %+v\noff: %+v", on.Threads, off.Threads)
+	}
+	if on.Stdout != off.Stdout {
+		t.Errorf("stdout differs: on=%q off=%q", on.Stdout, off.Stdout)
+	}
+	if on.Stderr != off.Stderr {
+		t.Errorf("stderr differs: on=%q off=%q", on.Stderr, off.Stderr)
+	}
+	if on.Exit != off.Exit {
+		t.Errorf("exit differs: on=%+v off=%+v", on.Exit, off.Exit)
+	}
+	if on.VFSHash != off.VFSHash {
+		t.Errorf("VFS state hashes differ: on=%#x off=%#x", on.VFSHash, off.VFSHash)
+	}
+}

@@ -314,6 +314,18 @@ type Kernel struct {
 	// EventHook, if non-nil, receives kernel trace events.
 	EventHook func(Event)
 
+	// DecodeCacheOff disables the per-core decoded-instruction cache on
+	// every core this kernel creates (NewThread and execve Rebind). The
+	// differential test harness flips it to prove cached and uncached
+	// execution are bit-identical.
+	DecodeCacheOff bool
+
+	// StepTrace, if non-nil, is installed on every core this kernel
+	// creates and receives one call per retired instruction with the
+	// executing thread's TID. The differential test harness hashes this
+	// stream to compare whole-machine instruction traces.
+	StepTrace func(tid int, rip uint64, op cpu.Op)
+
 	// Exec is the execve image-replacement hook (set by internal/loader).
 	Exec ExecHandler
 
@@ -339,8 +351,15 @@ func New() *Kernel {
 		procs:   make(map[int]*Process),
 		nextPID: 1,
 		net:     newNetStack(),
+
+		DecodeCacheOff: DecodeCacheOffDefault,
 	}
 }
+
+// DecodeCacheOffDefault seeds Kernel.DecodeCacheOff for kernels built by
+// New. Tests that construct worlds indirectly (e.g. the pitfall PoCs)
+// toggle it to run whole scenarios without the decode cache.
+var DecodeCacheOffDefault bool
 
 // NewProcess creates an empty process (no memory mapped, no threads).
 // Callers (the loader) populate it and then call NewThread.
@@ -372,6 +391,11 @@ func (k *Kernel) NewThread(p *Process, ctx cpu.Context) *Thread {
 		Core:  cpu.NewCore(p.AS),
 		State: ThreadRunnable,
 	}
+	t.Core.DecodeCacheOff = k.DecodeCacheOff
+	if k.StepTrace != nil {
+		tid := t.TID
+		t.Core.StepTrace = func(rip uint64, op cpu.Op) { k.StepTrace(tid, rip, op) }
+	}
 	p.nextTID++
 	t.Core.Ctx = ctx
 	p.Threads = append(p.Threads, t)
@@ -392,6 +416,18 @@ func (k *Kernel) Processes() []*Process {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
 	return out
+}
+
+// DecodeCacheStats sums the decoded-instruction cache statistics over
+// every thread of every process.
+func (k *Kernel) DecodeCacheStats() cpu.DecodeCacheStats {
+	var s cpu.DecodeCacheStats
+	for _, p := range k.Processes() {
+		for _, t := range p.Threads {
+			s.Add(t.Core.DecodeStats)
+		}
+	}
+	return s
 }
 
 // RegisterHostcall installs a hostcall for process p.
@@ -429,10 +465,12 @@ func (t *Thread) ClearSUD() {
 // Rebind attaches the thread to its process's (possibly replaced) address
 // space with a fresh core (execve semantics).
 func (t *Thread) Rebind() {
-	cycles, insts, extra := t.Core.Cycles, t.Core.Insts, t.ExtraCycles
+	old := t.Core
 	t.Core = cpu.NewCore(t.Proc.AS)
-	t.Core.Cycles, t.Core.Insts = cycles, insts
-	t.ExtraCycles = extra
+	t.Core.Cycles, t.Core.Insts = old.Cycles, old.Insts
+	t.Core.DecodeCacheOff = old.DecodeCacheOff
+	t.Core.DecodeStats = old.DecodeStats
+	t.Core.StepTrace = old.StepTrace
 }
 
 type vvarReg struct {

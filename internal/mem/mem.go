@@ -187,6 +187,13 @@ type AddressSpace struct {
 	mu      sync.RWMutex
 	pages   map[uint64]*page // page number -> page
 	regions []Region         // sorted by Start
+
+	// genClock issues write generations. It is monotone across the whole
+	// address space so a generation value is never reused, even when a
+	// page is unmapped and a fresh one mapped at the same address: any
+	// cache keyed on a page's generation can rely on "same gen" meaning
+	// "same bytes, same permission".
+	genClock uint64
 }
 
 // NewAddressSpace returns an empty address space.
@@ -204,6 +211,7 @@ func (a *AddressSpace) Clone() *AddressSpace {
 		c.pages[pn] = &np
 	}
 	c.regions = append([]Region(nil), a.regions...)
+	c.genClock = a.genClock
 	return c
 }
 
@@ -238,7 +246,8 @@ func (a *AddressSpace) Map(addr, length uint64, perm Perm, name string) error {
 	defer a.mu.Unlock()
 	n := PageCount(addr, length)
 	for i := uint64(0); i < n; i++ {
-		a.pages[PageNum(addr)+i] = &page{perm: perm}
+		a.genClock++
+		a.pages[PageNum(addr)+i] = &page{perm: perm, gen: a.genClock}
 	}
 	end := addr + n*PageSize
 	a.insertRegionLocked(Region{Start: addr, End: end, Perm: perm, Name: name})
@@ -334,6 +343,10 @@ func (a *AddressSpace) Protect(addr, length uint64, perm Perm) error {
 			return &Fault{Addr: addr + i*PageSize, Access: AccessWrite, Cause: CauseUnmapped}
 		}
 		pg.perm = perm
+		// A permission change invalidates generation-keyed caches: a
+		// fetch that succeeded before mprotect may fault afterwards.
+		a.genClock++
+		pg.gen = a.genClock
 	}
 	return nil
 }
@@ -543,7 +556,8 @@ func (a *AddressSpace) writeLocked(addr uint64, b []byte) {
 		pg := a.pages[PageNum(cur)]
 		po := cur % PageSize
 		c := copy(pg.data[po:], b[off:])
-		pg.gen++
+		a.genClock++
+		pg.gen = a.genClock
 		off += c
 	}
 }

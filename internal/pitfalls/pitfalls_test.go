@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"k23/internal/interpose/variants"
+	"k23/internal/kernel"
 )
 
 // specByName fetches a variant spec.
@@ -70,6 +71,40 @@ func TestP3bMatrix(t *testing.T) { testPitfall(t, "P3b") }
 func TestP4aMatrix(t *testing.T) { testPitfall(t, "P4a") }
 func TestP4bMatrix(t *testing.T) { testPitfall(t, "P4b") }
 func TestP5Matrix(t *testing.T)  { testPitfall(t, "P5") }
+
+// TestP5CachedModeParity runs the P5 PoC — the deterministic torn-write
+// delay scan plus the stale-I-cache and lost-permission probes — with the
+// decoded-instruction cache enabled and disabled, for every Table 3
+// interposer. Verdict AND detail (which embeds the observed CMC activity)
+// must be identical: P5 is precisely the pitfall a decode cache could
+// silently paper over, because its whole point is executing stale bytes.
+func TestP5CachedModeParity(t *testing.T) {
+	for variant := range expectTable3["P5"] {
+		variant := variant
+		t.Run(variant, func(t *testing.T) {
+			run := func(cacheOff bool) (bool, string) {
+				prev := kernel.DecodeCacheOffDefault
+				kernel.DecodeCacheOffDefault = cacheOff
+				defer func() { kernel.DecodeCacheOffDefault = prev }()
+				return runPoC(t, "P5", variant)
+			}
+			onHandled, onDetail := run(false)
+			offHandled, offDetail := run(true)
+			if onHandled != offHandled {
+				t.Errorf("P5 verdict differs under %s: cached=%v uncached=%v",
+					variant, onHandled, offHandled)
+			}
+			if onDetail != offDetail {
+				t.Errorf("P5 detail differs under %s:\n  cached: %s\nuncached: %s",
+					variant, onDetail, offDetail)
+			}
+			if want := expectTable3["P5"][variant]; onHandled != want {
+				t.Errorf("P5 under %s with cache: handled=%v, want %v (Table 3)",
+					variant, onHandled, want)
+			}
+		})
+	}
+}
 
 func TestFormatMatrix(t *testing.T) {
 	res := []Result{
