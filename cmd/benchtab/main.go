@@ -10,26 +10,57 @@
 //	benchtab -figure 1
 //	benchtab -claim startup
 //	benchtab -claim decodecache
+//	benchtab -fleet 16 -workers 8
+//	benchtab -fleet 16 -workers 1,2,4,8 -fleet-workload macro
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"k23/internal/bench"
+	"k23/internal/fleet"
 	"k23/internal/interpose/variants"
 	"k23/internal/pitfalls"
 )
+
+// parseWorkers turns "8" or "1,2,4,8" into worker counts, prepending a
+// workers=1 baseline when absent so the speedup column has a reference.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	haveOne := false
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		if n == 1 {
+			haveOne = true
+		}
+		out = append(out, n)
+	}
+	if !haveOne {
+		out = append([]int{1}, out...)
+	}
+	return out, nil
+}
 
 func main() {
 	table := flag.String("table", "", "regenerate a table: 2, 3, 5, 6, or all")
 	figure := flag.String("figure", "", "regenerate a figure's content: 1, 2, or 4")
 	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b or decodecache")
+	fleetN := flag.Int("fleet", 0, "run a fleet of N simulated machines and report scaling")
+	workersSpec := flag.String("workers", "8", "worker counts for -fleet: a number or comma list (1,2,4,8)")
+	fleetWorkload := flag.String("fleet-workload", "micro", "fleet machine type: micro (syscall loop), macro (redis server), or apps (difftest mix)")
+	fleetIters := flag.Int("fleet-iters", 20000, "micro loop iterations / macro requests per fleet machine")
 	flag.Parse()
 
-	if *table == "" && *figure == "" && *claim == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache")
+	if *table == "" && *figure == "" && *claim == "" && *fleetN == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache | -fleet N -workers W")
 		os.Exit(2)
 	}
 
@@ -173,5 +204,33 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown claim %q\n", *claim)
 		os.Exit(2)
+	}
+
+	if *fleetN > 0 {
+		counts, err := parseWorkers(*workersSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(2)
+		}
+		var machines []fleet.Machine
+		switch *fleetWorkload {
+		case "micro":
+			machines = bench.FleetMicroMachines(*fleetN, *fleetIters)
+		case "macro":
+			machines = bench.FleetMacroMachines(*fleetN, *fleetIters)
+		case "apps":
+			machines = fleet.StandardFleet(*fleetN)
+		default:
+			fmt.Fprintf(os.Stderr, "benchtab: unknown fleet workload %q\n", *fleetWorkload)
+			os.Exit(2)
+		}
+		run(fmt.Sprintf("Fleet — %d %s machines, workers vs throughput", *fleetN, *fleetWorkload), func() error {
+			rows, err := bench.MeasureFleetScaling(context.Background(), machines, counts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFleetScaling(rows))
+			return nil
+		})
 	}
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"k23/internal/bench"
+	"k23/internal/interpose/variants"
+	"k23/internal/pitfalls"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files from current output")
+
+// checkGolden compares got against testdata/<name> row-for-row. The
+// tables are fully deterministic (every number is simulated cycles, not
+// host time), so any drift is a real behavior change: either a perf PR
+// silently moved the paper's numbers, or the golden needs a deliberate
+// refresh via `go test ./cmd/benchtab -update`.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run `go test ./cmd/benchtab -update` to create): %v", path, err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) > n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("%s row %d drifted:\n got:  %q\n want: %q", name, i+1, g, w)
+		}
+	}
+	if !t.Failed() {
+		t.Errorf("%s differs from golden in whitespace only", name)
+	}
+}
+
+func TestGoldenTable2(t *testing.T) {
+	rows, err := bench.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2.golden", bench.FormatTable2(rows))
+}
+
+func TestGoldenTable3(t *testing.T) {
+	results, err := pitfalls.Matrix(variants.Table3Columns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3.golden", pitfalls.FormatMatrix(results))
+}
+
+func TestGoldenTable5(t *testing.T) {
+	rows, err := bench.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table5.golden", bench.FormatTable5(rows))
+}
+
+func TestGoldenTable6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table 6 regeneration takes ~1 minute; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("Table 6 regeneration is several minutes under -race; covered by the non-race run")
+	}
+	rows, err := bench.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table6.golden", bench.FormatTable6(rows))
+}
+
+// TestParseWorkers covers the -workers flag grammar, including the
+// implicit workers=1 baseline.
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{in: "8", want: "[1 8]"},
+		{in: "1", want: "[1]"},
+		{in: "1,2,4,8", want: "[1 2 4 8]"},
+		{in: "4, 2", want: "[1 4 2]"},
+		{in: "0", err: true},
+		{in: "x", err: true},
+		{in: "", err: true},
+	}
+	for _, c := range cases {
+		got, err := parseWorkers(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseWorkers(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseWorkers(%q): %v", c.in, err)
+			continue
+		}
+		if s := fmt.Sprint(got); s != c.want {
+			t.Errorf("parseWorkers(%q) = %s, want %s", c.in, s, c.want)
+		}
+	}
+}

@@ -32,15 +32,12 @@ func TestAppsCacheOnOffIdentical(t *testing.T) {
 // TestPitfallMatrixCacheOnOffIdentical regenerates the full Table 3
 // pitfall matrix (every PoC P1a..P5 against zpoline/lazypoline/K23) in
 // both cache modes and requires identical verdicts and details. The PoCs
-// build their worlds internally, so the mode is set through the kernel
-// package default.
+// build their worlds internally, so the mode is threaded through as a
+// per-kernel construction option.
 func TestPitfallMatrixCacheOnOffIdentical(t *testing.T) {
 	specs := variants.Table3Columns()
 	runMatrix := func(off bool) []pitfalls.Result {
-		prev := kernel.DecodeCacheOffDefault
-		kernel.DecodeCacheOffDefault = off
-		defer func() { kernel.DecodeCacheOffDefault = prev }()
-		res, err := pitfalls.Matrix(specs)
+		res, err := pitfalls.Matrix(specs, kernel.WithDecodeCacheOff(off))
 		if err != nil {
 			t.Fatalf("matrix (cacheOff=%v): %v", off, err)
 		}

@@ -24,6 +24,14 @@ func fuzzSeeds(f *testing.F) {
 	f.Add(asm(Inst{Op: OpAddImm, A: RCX, Imm: 1 << 30}))
 	f.Add(asm(Inst{Op: OpStore, A: RAX, B: RBX, Imm: 0x40}))
 	f.Add(asm(Inst{Op: OpHostcall, Imm: 77}))
+	// Patterns surfaced by the shared-state audit: the fleet's
+	// wedged-guest spin loop, trampoline/breakpoint bytes, and sequences
+	// that straddle a decode-cache line when rewritten in place.
+	f.Add([]byte{0xEB, 0xFE})                         // jmp .-2 (spin)
+	f.Add([]byte{0xCC})                               // int3 trampoline byte
+	f.Add([]byte{0x0F, 0x0B})                         // UD2
+	f.Add([]byte{0xCD, 0x80})                         // legacy int 0x80 gate
+	f.Add([]byte{0x90, 0x0F, 0x05, 0xEB, 0xFE, 0xCC}) // nop;syscall;spin;int3
 }
 
 // FuzzDecode: Decode must never panic on arbitrary bytes, and whenever it

@@ -20,6 +20,10 @@ func FuzzLinearSweep(f *testing.F) {
 	f.Add([]byte{0x0F, 0x05, 0x0F, 0x34, 0xF4}, uint64(0))
 	f.Add([]byte{}, uint64(0))
 	f.Add([]byte{0x0F}, uint64(1<<40))
+	// From the shared-state audit: the fleet's spin loop and trampoline
+	// bytes interleaved with syscall sites.
+	f.Add([]byte{0xEB, 0xFE, 0x0F, 0x05}, uint64(0x2000))
+	f.Add([]byte{0xCC, 0x0F, 0x05, 0xCC, 0x0F, 0x34}, uint64(0x3000))
 	f.Fuzz(func(t *testing.T, code []byte, base uint64) {
 		res := LinearSweep(code, base)
 		if res.Decoded < 0 || res.Resyncs < 0 {

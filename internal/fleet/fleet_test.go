@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"k23/internal/asm"
+	"k23/internal/interpose"
+)
+
+// normalize zeroes host-timing fields so Results compare exactly.
+func normalize(rep *Report) []Result {
+	out := append([]Result(nil), rep.Machines...)
+	for i := range out {
+		out[i].Wall = 0
+	}
+	return out
+}
+
+// TestFleetDeterminism is the correctness spine of the fleet executor:
+// the same machine configurations must produce bit-identical observable
+// results — step-trace hash, kernel event stream hash, exit status, VFS
+// tree hash, step and syscall counts, decode-cache counters — at
+// workers=1 and workers=8, and across repeated workers=8 runs. Under
+// `go test -race` this also proves no two Worlds share mutable state.
+func TestFleetDeterminism(t *testing.T) {
+	machines := StandardFleet(12)
+	run := func(workers int) []Result {
+		rep, err := Run(context.Background(), machines, Options{Workers: workers, Hash: true})
+		if err != nil {
+			t.Fatalf("fleet run (workers=%d): %v", workers, err)
+		}
+		if err := rep.FirstErr(); err != nil {
+			t.Fatalf("fleet run (workers=%d): %v", workers, err)
+		}
+		return normalize(rep)
+	}
+	serial := run(1)
+	parallel := run(8)
+	again := run(8)
+
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("machine %s differs between workers=1 and workers=8:\n w1: %+v\n w8: %+v",
+				serial[i].Name, serial[i], parallel[i])
+		}
+	}
+	if !reflect.DeepEqual(parallel, again) {
+		t.Errorf("repeated workers=8 runs differ:\n first: %+v\nsecond: %+v", parallel, again)
+	}
+	for i := range serial {
+		if serial[i].TraceHash == 0 || serial[i].Steps == 0 {
+			t.Errorf("machine %s: empty trace (hash=%#x steps=%d) — hashing not wired?",
+				serial[i].Name, serial[i].TraceHash, serial[i].Steps)
+		}
+	}
+}
+
+// TestFleetSeedsIndividualizeMachines: two machines running the same
+// program with different seeds must be observably different (the seed
+// shifts the virtual clock, and servers get seed-derived payloads),
+// while the same seed reproduces the machine exactly.
+func TestFleetSeedsIndividualizeMachines(t *testing.T) {
+	mk := func(name string, seed uint64) Machine {
+		m := StandardFleet(9)[8] // redis, a server workload
+		m.Name, m.Seed = name, seed
+		return m
+	}
+	machines := []Machine{mk("a", 1), mk("b", 2), mk("c", 1)}
+	rep, err := Run(context.Background(), machines, Options{Workers: 3, Hash: true})
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if err := rep.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := rep.Machines[0], rep.Machines[1], rep.Machines[2]
+	if a.EventHash == b.EventHash && a.TraceHash == b.TraceHash && a.VFSHash == b.VFSHash {
+		t.Errorf("seeds 1 and 2 produced identical machines (event=%#x trace=%#x vfs=%#x)",
+			a.EventHash, a.TraceHash, a.VFSHash)
+	}
+	if a.EventHash != c.EventHash || a.TraceHash != c.TraceHash || a.VFSHash != c.VFSHash {
+		t.Errorf("same seed diverged: a={%#x %#x %#x} c={%#x %#x %#x}",
+			a.EventHash, a.TraceHash, a.VFSHash, c.EventHash, c.TraceHash, c.VFSHash)
+	}
+}
+
+// spinMachine is a guest that never exits: the wedged-guest scenario.
+func spinMachine(name string, maxInsts uint64) Machine {
+	return Machine{
+		Name:     name,
+		Seed:     7,
+		Path:     "/bin/spin",
+		Argv:     []string{"spin"},
+		MaxInsts: maxInsts,
+		Setup: func(w *interpose.World) error {
+			b := asm.NewBuilder("/bin/spin")
+			tx := b.Text()
+			tx.Label("_start")
+			tx.Label(".l")
+			tx.Jmp(".l")
+			w.MustRegister(b.MustBuild())
+			return nil
+		},
+	}
+}
+
+// TestFleetCancellation: a wedged guest must not stall the pool — the
+// context deadline reclaims its worker, and machines that already ran
+// keep their results.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	machines := []Machine{
+		StandardFleet(1)[0],        // pwd: completes immediately
+		spinMachine("spin", 1<<62), // wedged until the deadline
+	}
+	rep, err := Run(ctx, machines, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if rep.Machines[0].Err != "" {
+		t.Errorf("healthy machine failed: %s", rep.Machines[0].Err)
+	}
+	if rep.Machines[1].Err == "" || !strings.Contains(rep.Machines[1].Err, "context deadline") {
+		t.Errorf("wedged machine: got err %q, want context deadline", rep.Machines[1].Err)
+	}
+}
+
+// TestFleetBudget: a machine that exhausts its instruction budget
+// reports the exhaustion instead of hanging.
+func TestFleetBudget(t *testing.T) {
+	rep, err := Run(context.Background(),
+		[]Machine{spinMachine("spin", 1_000_000)}, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if got := rep.Machines[0].Err; !strings.Contains(got, "budget exhausted") {
+		t.Errorf("got err %q, want budget exhaustion", got)
+	}
+}
+
+// TestSeedPayload: the seed-derived payload is deterministic per seed
+// and distinct across seeds.
+func TestSeedPayload(t *testing.T) {
+	a := seedPayload(42, 64)
+	b := seedPayload(42, 64)
+	c := seedPayload(43, 64)
+	if string(a) != string(b) {
+		t.Error("same seed produced different payloads")
+	}
+	if string(a) == string(c) {
+		t.Error("different seeds produced identical payloads")
+	}
+	for i, ch := range a {
+		if ch < 'A' || ch > 'Z' {
+			t.Fatalf("payload byte %d out of range: %q", i, ch)
+		}
+	}
+}
+
+// TestStandardFleetStable: fleet construction itself is deterministic.
+func TestStandardFleetStable(t *testing.T) {
+	a := StandardFleet(7)
+	b := StandardFleet(7)
+	for i := range a {
+		a[i].Setup, b[i].Setup = nil, nil // func values don't compare
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("StandardFleet is not stable across calls")
+	}
+}
+
+// TestReportAggregates: aggregate arithmetic over a synthetic report.
+func TestReportAggregates(t *testing.T) {
+	rep := &Report{
+		Workers: 2,
+		Wall:    2 * time.Second,
+		Machines: []Result{
+			{Name: "a", Steps: 3_000_000, Syscalls: 10},
+			{Name: "b", Steps: 1_000_000, Syscalls: 32},
+		},
+	}
+	if got := rep.TotalSteps(); got != 4_000_000 {
+		t.Errorf("TotalSteps = %d, want 4000000", got)
+	}
+	if got := rep.TotalSyscalls(); got != 42 {
+		t.Errorf("TotalSyscalls = %d, want 42", got)
+	}
+	if got := rep.StepsPerSec(); got != 2_000_000 {
+		t.Errorf("StepsPerSec = %v, want 2e6", got)
+	}
+	if got := rep.MachinesPerSec(); got != 1 {
+		t.Errorf("MachinesPerSec = %v, want 1", got)
+	}
+	out := rep.Format()
+	for _, want := range []string{"a", "b", "2 machines", "2 workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -128,9 +128,12 @@ type World struct {
 	Reg *image.Registry
 }
 
-// NewWorld creates a fresh world.
-func NewWorld() *World {
-	k := kernel.New()
+// NewWorld creates a fresh world. Kernel options (decode cache mode,
+// virtual clock seed, ...) apply to the new kernel only: a World shares
+// no mutable state with any other World, which is what lets the fleet
+// executor run many of them on concurrent goroutines.
+func NewWorld(opts ...kernel.Option) *World {
+	k := kernel.New(opts...)
 	reg := image.NewRegistry()
 	reg.MustAdd(libc.Image())
 	l := loader.New(k, reg)

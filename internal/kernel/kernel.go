@@ -341,25 +341,46 @@ type Kernel struct {
 	VClock uint64
 }
 
+// Option configures a kernel at construction time. Options are the only
+// sanctioned way to vary kernel-wide behaviour: the package keeps no
+// mutable package-level state, so independent Kernel instances never
+// alias and can run on concurrent goroutines (the fleet executor's
+// no-shared-state invariant).
+type Option func(*Kernel)
+
+// WithDecodeCacheOff disables (or re-enables) the per-core
+// decoded-instruction cache on every core the kernel creates. The
+// differential test harnesses use it to prove cached and uncached
+// execution are bit-identical, including for worlds built indirectly
+// (the pitfall PoCs thread it through their constructors).
+func WithDecodeCacheOff(off bool) Option {
+	return func(k *Kernel) { k.DecodeCacheOff = off }
+}
+
+// WithVClock seeds the kernel's virtual clock. The fleet executor uses
+// it to give each simulated machine a distinct — but deterministic —
+// time base, so per-machine getrandom/gettimeofday streams differ
+// reproducibly.
+func WithVClock(start uint64) Option {
+	return func(k *Kernel) { k.VClock = start }
+}
+
 // New returns a kernel with the default cost model and an empty
-// filesystem.
-func New() *Kernel {
-	return &Kernel{
+// filesystem, then applies the given options.
+func New(opts ...Option) *Kernel {
+	k := &Kernel{
 		FS:      vfs.New(),
 		Cost:    DefaultCostModel(),
 		Quantum: 50,
 		procs:   make(map[int]*Process),
 		nextPID: 1,
 		net:     newNetStack(),
-
-		DecodeCacheOff: DecodeCacheOffDefault,
 	}
+	for _, opt := range opts {
+		opt(k)
+	}
+	return k
 }
-
-// DecodeCacheOffDefault seeds Kernel.DecodeCacheOff for kernels built by
-// New. Tests that construct worlds indirectly (e.g. the pitfall PoCs)
-// toggle it to run whole scenarios without the decode cache.
-var DecodeCacheOffDefault bool
 
 // NewProcess creates an empty process (no memory mapped, no threads).
 // Callers (the loader) populate it and then call NewThread.

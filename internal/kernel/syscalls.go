@@ -852,8 +852,15 @@ func (k *Kernel) sysExecve(t *Thread, pathAddr, argvAddr, envAddr uint64) (uint6
 
 func (k *Kernel) sysWait4(t *Thread, pid int, statusAddr uint64) (ret uint64, blocked bool) {
 	p := t.Proc
+	// Scan in PID creation order (k.order), not map order: with several
+	// zombie children, which one wait4(-1) reaps must not depend on Go's
+	// randomized map iteration, or identical runs diverge.
 	find := func() *Process {
-		for _, c := range k.procs {
+		for _, cpid := range k.order {
+			c, ok := k.procs[cpid]
+			if !ok {
+				continue
+			}
 			if c.Parent == p && c.State == ProcZombie {
 				if pid <= 0 || c.PID == pid {
 					return c

@@ -36,8 +36,10 @@ type PoC struct {
 	// Title is a one-line description.
 	Title string
 	// Run executes the PoC under the given variant and reports whether
-	// the interposer handles the pitfall.
-	Run func(spec variants.Spec) (handled bool, detail string, err error)
+	// the interposer handles the pitfall. Kernel options apply to every
+	// world the PoC builds internally (the decode-cache parity tests
+	// run whole scenarios with the cache disabled this way).
+	Run func(spec variants.Spec, opts ...kernel.Option) (handled bool, detail string, err error)
 }
 
 // All returns the PoCs in paper order.
@@ -55,12 +57,13 @@ func All() []PoC {
 	}
 }
 
-// Matrix runs every PoC against every given variant.
-func Matrix(specs []variants.Spec) ([]Result, error) {
+// Matrix runs every PoC against every given variant. Kernel options are
+// forwarded to every world the PoCs construct.
+func Matrix(specs []variants.Spec, opts ...kernel.Option) ([]Result, error) {
 	var out []Result
 	for _, poc := range All() {
 		for _, spec := range specs {
-			handled, detail, err := poc.Run(spec)
+			handled, detail, err := poc.Run(spec, opts...)
 			if err != nil {
 				return nil, fmt.Errorf("pitfalls: %s under %s: %w", poc.ID, spec.Name, err)
 			}
@@ -124,8 +127,8 @@ func FormatMatrix(results []Result) string {
 
 // world builds a fresh world with the PoC binaries and workload apps
 // registered.
-func world() *interpose.World {
-	w := interpose.NewWorld()
+func world(opts ...kernel.Option) *interpose.World {
+	w := interpose.NewWorld(opts...)
 	apps.RegisterAll(w.Reg)
 	_ = apps.SetupFS(w.K.FS)
 	registerPoCBinaries(w)
@@ -159,8 +162,8 @@ func launcherFor(w *interpose.World, spec variants.Spec, cfg interpose.Config,
 // runUnder launches target under the spec with the hook config, runs it
 // to completion (tolerating signal deaths), and returns launcher+process.
 func runUnder(spec variants.Spec, cfg interpose.Config, target string,
-	benignArgv, attackArgv []string) (*interpose.World, interpose.Launcher, *kernel.Process, error) {
-	w := world()
+	benignArgv, attackArgv []string, opts ...kernel.Option) (*interpose.World, interpose.Launcher, *kernel.Process, error) {
+	w := world(opts...)
 	l, err := launcherFor(w, spec, cfg, target, benignArgv)
 	if err != nil {
 		return nil, nil, nil, err

@@ -33,13 +33,13 @@ var expectTable3 = map[string]map[string]bool{
 	"P5":  {"zpoline-ultra": true, "lazypoline": false, "k23-ultra+": true},
 }
 
-func runPoC(t *testing.T, id, variant string) (bool, string) {
+func runPoC(t *testing.T, id, variant string, opts ...kernel.Option) (bool, string) {
 	t.Helper()
 	for _, poc := range All() {
 		if poc.ID != id {
 			continue
 		}
-		handled, detail, err := poc.Run(specByName(t, variant))
+		handled, detail, err := poc.Run(specByName(t, variant), opts...)
 		if err != nil {
 			t.Fatalf("%s under %s: %v", id, variant, err)
 		}
@@ -83,10 +83,7 @@ func TestP5CachedModeParity(t *testing.T) {
 		variant := variant
 		t.Run(variant, func(t *testing.T) {
 			run := func(cacheOff bool) (bool, string) {
-				prev := kernel.DecodeCacheOffDefault
-				kernel.DecodeCacheOffDefault = cacheOff
-				defer func() { kernel.DecodeCacheOffDefault = prev }()
-				return runPoC(t, "P5", variant)
+				return runPoC(t, "P5", variant, kernel.WithDecodeCacheOff(cacheOff))
 			}
 			onHandled, onDetail := run(false)
 			offHandled, offDetail := run(true)
