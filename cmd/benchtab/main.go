@@ -25,6 +25,7 @@ import (
 	"k23/internal/bench"
 	"k23/internal/fleet"
 	"k23/internal/interpose/variants"
+	"k23/internal/obsv"
 	"k23/internal/pitfalls"
 )
 
@@ -52,15 +53,17 @@ func parseWorkers(s string) ([]int, error) {
 func main() {
 	table := flag.String("table", "", "regenerate a table: 2, 3, 5, 6, or all")
 	figure := flag.String("figure", "", "regenerate a figure's content: 1, 2, or 4")
-	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b or decodecache")
+	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b, decodecache or obsoverhead")
 	fleetN := flag.Int("fleet", 0, "run a fleet of N simulated machines and report scaling")
 	workersSpec := flag.String("workers", "8", "worker counts for -fleet: a number or comma list (1,2,4,8)")
 	fleetWorkload := flag.String("fleet-workload", "micro", "fleet machine type: micro (syscall loop), macro (redis server), or apps (difftest mix)")
 	fleetIters := flag.Int("fleet-iters", 20000, "micro loop iterations / macro requests per fleet machine")
+	sidecar := flag.Bool("metrics-sidecar", false, "print the per-variant observability sidecar (instrumented representative runs)")
+	fleetTrace := flag.String("fleet-trace", "", "with -fleet: record each machine's flight-recorder trace and write tagged JSONL to FILE")
 	flag.Parse()
 
-	if *table == "" && *figure == "" && *claim == "" && *fleetN == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache | -fleet N -workers W")
+	if *table == "" && *figure == "" && *claim == "" && *fleetN == 0 && !*sidecar {
+		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|obsoverhead | -fleet N -workers W | -metrics-sidecar")
 		os.Exit(2)
 	}
 
@@ -201,9 +204,31 @@ func main() {
 			fmt.Print(bench.FormatDecodeCache(pairs))
 			return nil
 		})
+	case "obsoverhead":
+		run("Claim — observability overhead on the micro workload (E15)", func() error {
+			const variant = "k23-default"
+			rows, err := bench.MeasureObsOverhead(variant)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatObsOverhead(variant, rows))
+			return nil
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown claim %q\n", *claim)
 		os.Exit(2)
+	}
+
+	if *sidecar {
+		run("Observability sidecar — instrumented representative runs", func() error {
+			names := append([]string{"native"}, bench.Table5Variants()...)
+			rows, err := bench.MetricsSidecar(names)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatMetricsSidecar(rows))
+			return nil
+		})
 	}
 
 	if *fleetN > 0 {
@@ -232,5 +257,43 @@ func main() {
 			fmt.Print(bench.FormatFleetScaling(rows))
 			return nil
 		})
+		if *fleetTrace != "" {
+			run("Fleet — observed run (flight recorder + metrics)", func() error {
+				rep, err := fleet.Run(context.Background(), machines, fleet.Options{
+					Workers: counts[len(counts)-1],
+					Obs:     obsv.Options{Trace: true, Metrics: true},
+				})
+				if err != nil {
+					return err
+				}
+				if err := rep.FirstErr(); err != nil {
+					return err
+				}
+				f, err := os.Create(*fleetTrace)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				for i := range rep.Machines {
+					m := &rep.Machines[i]
+					if m.Obs == nil {
+						continue
+					}
+					if err := obsv.WriteJSONLTagged(f, m.Obs.Trace, m.Name); err != nil {
+						return err
+					}
+				}
+				fmt.Printf("per-machine traces written to %s\n", *fleetTrace)
+				if merged := rep.MergedObs(); merged != nil && merged.Metrics != nil {
+					fmt.Printf("fleet-wide: %d syscalls across %d machines, mechanisms:",
+						merged.Metrics.TotalSyscalls(), len(rep.Machines))
+					for _, m := range merged.Metrics.Mechanisms {
+						fmt.Printf(" %s=%d", m.Mechanism, m.Count)
+					}
+					fmt.Println()
+				}
+				return nil
+			})
+		}
 	}
 }

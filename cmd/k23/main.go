@@ -1,14 +1,21 @@
 // Command k23 runs a workload binary on the simulated platform under a
-// chosen system call interposer, with optional strace-style tracing.
+// chosen system call interposer, with optional strace-style tracing,
+// per-syscall metrics, and guest profiling.
 //
 // Usage:
 //
-//	k23 [-variant NAME] [-trace] [-stats] PROG [ARGS...]
+//	k23 [-variant NAME] [-trace] [-stats] [-metrics FILE] [-prom FILE]
+//	    [-trace-json FILE] [-profile FILE] [-folded FILE]
+//	    [-profile-every N] PROG [ARGS...]
 //
 // PROG is one of the registered workloads (pwd, touch, ls, cat, clear,
 // nginx, lighttpd, redis-server, sqlite3) by basename or full path.
 // K23 variants automatically run the offline phase on the same
 // invocation first.
+//
+// When the guest dies by signal and the flight recorder is on, k23
+// prints the recorder excerpt around the fatal event — the crash-time
+// "what was it doing" view.
 package main
 
 import (
@@ -21,37 +28,8 @@ import (
 	"k23/internal/core"
 	"k23/internal/interpose"
 	"k23/internal/interpose/variants"
-	"k23/internal/kernel"
+	"k23/internal/obsv"
 )
-
-var syscallNames = map[uint64]string{
-	kernel.SysRead: "read", kernel.SysWrite: "write", kernel.SysOpen: "open",
-	kernel.SysOpenat: "openat", kernel.SysClose: "close", kernel.SysStat: "stat",
-	kernel.SysFstat: "fstat", kernel.SysMmap: "mmap", kernel.SysMprotect: "mprotect",
-	kernel.SysMunmap: "munmap", kernel.SysRtSigaction: "rt_sigaction",
-	kernel.SysRtSigreturn: "rt_sigreturn", kernel.SysIoctl: "ioctl",
-	kernel.SysAccess: "access", kernel.SysSchedYield: "sched_yield",
-	kernel.SysMadvise: "madvise", kernel.SysGetpid: "getpid",
-	kernel.SysSocket: "socket", kernel.SysAccept: "accept", kernel.SysBind: "bind",
-	kernel.SysListen: "listen", kernel.SysClone: "clone", kernel.SysFork: "fork",
-	kernel.SysExecve: "execve", kernel.SysExit: "exit", kernel.SysExitGroup: "exit_group",
-	kernel.SysWait4: "wait4", kernel.SysUname: "uname", kernel.SysFcntl: "fcntl",
-	kernel.SysGetcwd: "getcwd", kernel.SysMkdir: "mkdir", kernel.SysUnlink: "unlink",
-	kernel.SysChmod: "chmod", kernel.SysGettimeofday: "gettimeofday",
-	kernel.SysGetuid: "getuid", kernel.SysPrctl: "prctl", kernel.SysGettid: "gettid",
-	kernel.SysTime: "time", kernel.SysFutex: "futex", kernel.SysEpollWait: "epoll_wait",
-	kernel.SysEpollCreate1: "epoll_create1", kernel.SysClockGettime: "clock_gettime",
-	kernel.SysGetrandom: "getrandom", kernel.SysPkeyMprotect: "pkey_mprotect",
-	kernel.SysPkeyAlloc: "pkey_alloc", kernel.SysPkeyFree: "pkey_free",
-	kernel.SysArchPrctl: "arch_prctl",
-}
-
-func sysName(nr uint64) string {
-	if n, ok := syscallNames[nr]; ok {
-		return n
-	}
-	return fmt.Sprintf("syscall_%d", nr)
-}
 
 // resolveProg maps a basename to a registered binary path.
 func resolveProg(name string) (string, []string, bool) {
@@ -89,9 +67,33 @@ func defaultArgs(path string, argv []string) []string {
 	return argv
 }
 
+// writeFile writes one observability artifact, reporting but not
+// aborting on failure (the guest already ran).
+func writeFile(path, what string, write func(f *os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "k23: %s: %v\n", what, err)
+		return
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "k23: %s: %v\n", what, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[obsv] %s written to %s\n", what, path)
+}
+
 func main() {
 	variant := flag.String("variant", "k23-ultra", "interposer variant (see -list)")
-	trace := flag.Bool("trace", false, "print every interposed system call")
+	trace := flag.Bool("trace", false, "record and print a strace-style syscall trace")
+	traceJSON := flag.String("trace-json", "", "write the flight-recorder trace as JSONL to FILE")
+	ringSize := flag.Int("ring", obsv.DefaultRingSize, "flight-recorder capacity in events")
+	metricsOut := flag.String("metrics", "", "write per-syscall metrics as JSON to FILE")
+	promOut := flag.String("prom", "", "write metrics in Prometheus text format to FILE")
+	profileOut := flag.String("profile", "", "write a pprof profile (gzipped protobuf) to FILE")
+	foldedOut := flag.String("folded", "", "write folded stacks (flamegraph input) to FILE")
+	profileEvery := flag.Uint64("profile-every", 0,
+		"sample guest RIP every N virtual ticks (0 = default when -profile/-folded set)")
 	stats := flag.Bool("stats", false, "print interposition statistics")
 	list := flag.Bool("list", false, "list interposer variants")
 	flag.Parse()
@@ -108,7 +110,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: k23 [-variant NAME] [-trace] [-stats] PROG [ARGS...]")
+		fmt.Fprintln(os.Stderr, "usage: k23 [-variant NAME] [-trace] [-stats] [-metrics FILE] [-profile FILE] PROG [ARGS...]")
 		os.Exit(2)
 	}
 	path, _, ok := resolveProg(args[0])
@@ -124,11 +126,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Derive the observability options from the requested outputs: any
+	// trace output needs the recorder, any metrics output the
+	// aggregator, any profile output the sampler.
+	opts := obsv.Options{
+		Trace:    *trace || *traceJSON != "",
+		RingSize: *ringSize,
+		Metrics:  *metricsOut != "" || *promOut != "",
+	}
+	if *profileOut != "" || *foldedOut != "" || *profileEvery != 0 {
+		opts.ProfileEvery = *profileEvery
+		if opts.ProfileEvery == 0 {
+			opts.ProfileEvery = obsv.DefaultProfileEvery
+		}
+	}
+
 	w := interpose.NewWorld()
 	apps.RegisterAll(w.Reg)
 	if err := apps.SetupFS(w.K.FS); err != nil {
 		fmt.Fprintln(os.Stderr, "k23:", err)
 		os.Exit(1)
+	}
+
+	var obs *obsv.Observer
+	if opts.Enabled() {
+		obs = obsv.New(opts)
+		obs.Install(w.K)
 	}
 
 	logPath := ""
@@ -150,15 +173,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[offline] %d unique syscall sites logged to %s\n", n, logPath)
 	}
 
-	cfg := interpose.Config{}
-	if *trace {
-		cfg.Hook = func(c *interpose.Call) (uint64, bool) {
-			fmt.Fprintf(os.Stderr, "[%s] %s(%#x, %#x, %#x) @%#x\n",
-				c.Mechanism, sysName(c.Num), c.Args[0], c.Args[1], c.Args[2], c.Site)
-			return 0, false
-		}
-	}
-	l := spec.New(cfg, logPath)
+	l := spec.New(interpose.Config{}, logPath)
 	p, err := l.Launch(w, path, argv, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "k23: launch:", err)
@@ -176,6 +191,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "interposed: %d ptrace, %d rewritten, %d sud; %d sites rewritten\n",
 			st.Ptraced, st.Rewritten, st.SUD, st.Sites)
 	}
+
+	if obs != nil {
+		snap := obs.Snapshot()
+		if *trace {
+			if snap.TraceSeq > uint64(len(snap.Trace)) {
+				fmt.Fprintf(os.Stderr, "[trace] ring dropped the oldest %d of %d events\n",
+					snap.TraceSeq-uint64(len(snap.Trace)), snap.TraceSeq)
+			}
+			if p.Exit.Signal != 0 {
+				// Fault dump: the recorder excerpt around the fatal event.
+				fmt.Fprintf(os.Stderr, "[trace] guest died (%s); flight recorder around the fatal event:\n", p.Exit)
+				_ = obsv.WriteStrace(os.Stderr, obsv.Excerpt(snap.Trace, 8))
+			} else {
+				_ = obsv.WriteStrace(os.Stderr, snap.Trace)
+			}
+		}
+		if *traceJSON != "" {
+			writeFile(*traceJSON, "trace JSONL", func(f *os.File) error {
+				return obsv.WriteJSONL(f, snap.Trace)
+			})
+		}
+		if *metricsOut != "" {
+			writeFile(*metricsOut, "metrics JSON", func(f *os.File) error {
+				return snap.Metrics.WriteJSON(f)
+			})
+		}
+		if *promOut != "" {
+			writeFile(*promOut, "Prometheus metrics", func(f *os.File) error {
+				snap.Metrics.WritePrometheus(f, [][2]string{{"variant", *variant}})
+				return nil
+			})
+		}
+		if *profileOut != "" {
+			writeFile(*profileOut, "pprof profile", func(f *os.File) error {
+				return snap.Profile.WritePprof(f)
+			})
+		}
+		if *foldedOut != "" {
+			writeFile(*foldedOut, "folded stacks", func(f *os.File) error {
+				return snap.Profile.WriteFolded(f)
+			})
+		}
+	}
+
 	if p.Exit.Signal != 0 {
 		os.Exit(128 + p.Exit.Signal)
 	}

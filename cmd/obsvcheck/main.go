@@ -1,0 +1,56 @@
+// Command obsvcheck validates flight-recorder JSONL traces against the
+// observability schema: required fields per record, known event kinds,
+// strictly increasing sequence numbers (wraparound gaps allowed,
+// reordering not), and a non-decreasing virtual clock. CI runs it over
+// the fleet smoke trace so a schema regression fails the build instead
+// of silently corrupting downstream tooling.
+//
+// Usage:
+//
+//	obsvcheck FILE...        validate each file
+//	obsvcheck -              validate stdin
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"k23/internal/obsv"
+)
+
+func check(name string, r io.Reader) bool {
+	n, err := obsv.ValidateJSONL(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsvcheck: %s: %v (after %d valid records)\n", name, err, n)
+		return false
+	}
+	fmt.Printf("%s: %d records OK\n", name, n)
+	return true
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obsvcheck FILE... | obsvcheck -")
+		os.Exit(2)
+	}
+	ok := true
+	for _, a := range args {
+		if a == "-" {
+			ok = check("stdin", os.Stdin) && ok
+			continue
+		}
+		f, err := os.Open(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obsvcheck:", err)
+			ok = false
+			continue
+		}
+		ok = check(a, f) && ok
+		f.Close()
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,8 @@
 //	pitfalls            # the paper's three columns
 //	pitfalls -all       # every variant
 //	pitfalls -poc P3b   # a single PoC with details
+//	pitfalls -explain   # each PoC with a flight-recorder excerpt
+//	                    # around the triggering event
 package main
 
 import (
@@ -14,12 +16,64 @@ import (
 	"os"
 
 	"k23/internal/interpose/variants"
+	"k23/internal/kernel"
+	"k23/internal/obsv"
 	"k23/internal/pitfalls"
 )
+
+// explainPoC reruns one PoC under spec with a flight recorder installed
+// on every world it builds, and prints the trace excerpt around the
+// triggering event of the last world that recorded one.
+func explainPoC(poc pitfalls.PoC, spec variants.Spec) {
+	var observers []*obsv.Observer
+	opt := kernel.Option(func(k *kernel.Kernel) {
+		o := obsv.New(obsv.Options{Trace: true, RingSize: 1024})
+		o.Install(k)
+		observers = append(observers, o)
+	})
+	handled, detail, err := poc.Run(spec, opt)
+	if err != nil {
+		fmt.Printf("  %-18s ERROR: %v\n", spec.Name, err)
+		return
+	}
+	mark := "not handled"
+	if handled {
+		mark = "HANDLED"
+	}
+	fmt.Printf("  %-18s %-12s %s\n", spec.Name, mark, detail)
+	// Prefer the last world whose recorder caught a fault-class event
+	// (signal, SIGSYS, process death) — that is where the PoC fired.
+	var best []obsv.Record
+	for _, o := range observers {
+		recs := o.Snapshot().Trace
+		ex := obsv.Excerpt(recs, 3)
+		if len(ex) == 0 {
+			continue
+		}
+		if best == nil {
+			best = ex
+			continue
+		}
+		for _, r := range ex {
+			switch r.Kind {
+			case kernel.EvSignal, kernel.EvSudSigsys, kernel.EvSeccompSigsys, kernel.EvExitProc:
+				best = ex
+			}
+		}
+	}
+	if best == nil {
+		fmt.Println("    (no events recorded)")
+		return
+	}
+	for _, r := range best {
+		fmt.Printf("    %s\n", obsv.FormatRecord(r, nil))
+	}
+}
 
 func main() {
 	all := flag.Bool("all", false, "run every interposer variant, not just the Table 3 columns")
 	onePoc := flag.String("poc", "", "run a single PoC (P1a..P5) and print details")
+	explain := flag.Bool("explain", false, "print a flight-recorder excerpt around each PoC's triggering event")
 	flag.Parse()
 
 	specs := variants.Table3Columns()
@@ -34,13 +88,19 @@ func main() {
 		}
 	}
 
-	if *onePoc != "" {
+	if *onePoc != "" || *explain {
+		found := *onePoc == ""
 		for _, poc := range pitfalls.All() {
-			if poc.ID != *onePoc {
+			if *onePoc != "" && poc.ID != *onePoc {
 				continue
 			}
+			found = true
 			fmt.Printf("%s — %s\n", poc.ID, poc.Title)
 			for _, spec := range specs {
+				if *explain {
+					explainPoC(poc, spec)
+					continue
+				}
 				handled, detail, err := poc.Run(spec)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "  %-18s ERROR: %v\n", spec.Name, err)
@@ -52,10 +112,16 @@ func main() {
 				}
 				fmt.Printf("  %-18s %-12s %s\n", spec.Name, mark, detail)
 			}
-			return
+			if *onePoc != "" {
+				return
+			}
+			fmt.Println()
 		}
-		fmt.Fprintf(os.Stderr, "pitfalls: unknown PoC %q\n", *onePoc)
-		os.Exit(2)
+		if !found {
+			fmt.Fprintf(os.Stderr, "pitfalls: unknown PoC %q\n", *onePoc)
+			os.Exit(2)
+		}
+		return
 	}
 
 	fmt.Println("System Call Interposition Pitfalls (paper Table 3)")

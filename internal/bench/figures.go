@@ -98,7 +98,7 @@ func Figure2() (string, error) {
 	out.WriteString("Figure 2 — offline phase (libLogger over SUD), first traps of `ls`:\n\n")
 	shown := 0
 	w.K.EventHook = func(ev kernel.Event) {
-		if ev.Kind == "sud-sigsys" && shown < 4 {
+		if ev.Kind == kernel.EvSudSigsys && shown < 4 {
 			shown++
 			fmt.Fprintf(&out, "  (1) syscall %d invoked at site %#x\n", ev.Num, ev.Site)
 			fmt.Fprintf(&out, "  (2) kernel traps it -> SIGSYS -> libLogger handler\n")

@@ -615,6 +615,7 @@ func (z *K23) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 		return err
 	}
 	st.last[t.TID] = call
+	interpose.Observe(call)
 	if z.Config.Hook != nil {
 		if ret, emulated := z.Config.Hook(call); emulated {
 			ctx.R[cpu.RAX] = ret
@@ -703,6 +704,7 @@ func (z *K23) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	if err := z.guard(k, t, call, worldRef{}); err != nil {
 		return err
 	}
+	interpose.Observe(call)
 
 	var ret uint64
 	emulated := false

@@ -235,7 +235,7 @@ func TestOnlineExhaustiveTotal(t *testing.T) {
 
 	var kernelEnters int
 	w.K.EventHook = func(ev kernel.Event) {
-		if ev.Kind == "enter" {
+		if ev.Kind == kernel.EvEnter {
 			kernelEnters++
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"k23/internal/cpu/difftest"
 	"k23/internal/interpose"
 	"k23/internal/kernel"
+	"k23/internal/obsv"
 )
 
 // Machine describes one simulated machine: a program to boot and the
@@ -90,6 +91,11 @@ type Result struct {
 	// Err is a machine-level failure (spawn error, budget exhaustion,
 	// cancellation), as a string so Results compare with ==.
 	Err string
+	// Obs carries the machine's observability snapshot (flight-recorder
+	// trace, metrics, profile), nil unless Options.Obs enabled a
+	// collector. Each machine owns its Observer — the no-shared-state
+	// invariant — and snapshots are merged only at report time.
+	Obs *obsv.Snapshot
 }
 
 // Options configures a fleet run.
@@ -100,6 +106,9 @@ type Options struct {
 	// It costs a function call per retired instruction, so throughput
 	// benchmarks leave it off; determinism tests turn it on.
 	Hash bool
+	// Obs selects per-machine observability collectors (flight
+	// recorder, metrics, profiler). The zero value installs nothing.
+	Obs obsv.Options
 }
 
 // Report aggregates a fleet run.
@@ -143,6 +152,24 @@ func (r *Report) MachinesPerSec() float64 {
 		return 0
 	}
 	return float64(len(r.Machines)) / r.Wall.Seconds()
+}
+
+// MergedObs folds every machine's observability snapshot into one
+// fleet-wide view: histograms add bucketwise, mechanism and decode-cache
+// counters sum, traces concatenate in machine order. Returns nil when no
+// machine collected anything.
+func (r *Report) MergedObs() *obsv.Snapshot {
+	var merged *obsv.Snapshot
+	for i := range r.Machines {
+		if r.Machines[i].Obs == nil {
+			continue
+		}
+		if merged == nil {
+			merged = &obsv.Snapshot{}
+		}
+		merged.Merge(r.Machines[i].Obs)
+	}
+	return merged
 }
 
 // FirstErr returns the first machine error in fleet order, if any.
@@ -270,7 +297,7 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 
 	eh := fnv.New64a()
 	world.K.EventHook = func(e kernel.Event) {
-		if e.Kind == "enter" {
+		if e.Kind == kernel.EvEnter {
 			res.Syscalls++
 		}
 		fmt.Fprintf(eh, "%d/%d %s %d %#x %#x %s\n", e.PID, e.TID, e.Kind, e.Num, e.Site, e.Ret, e.Detail)
@@ -281,6 +308,14 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 		world.K.StepTrace = func(tid int, rip uint64, op cpu.Op) {
 			th.write(uint64(tid), rip, uint64(op))
 		}
+	}
+	var obs *obsv.Observer
+	if opt.Obs.Enabled() {
+		// Installed after the hash hook so AddEventHook chains both;
+		// the observer is private to this World, keeping the machine
+		// race-free and bit-identical at any worker count.
+		obs = obsv.New(opt.Obs)
+		obs.Install(world.K)
 	}
 
 	p, err := world.L.Spawn(m.Path, m.Argv, m.Env)
@@ -325,6 +360,9 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 	}
 	res.VFSHash = difftest.HashFS(world.K.FS)
 	res.DecodeCache = world.K.DecodeCacheStats()
+	if obs != nil {
+		res.Obs = obs.Snapshot()
+	}
 	for _, proc := range world.K.Processes() {
 		for _, t := range proc.Threads {
 			res.Steps += t.Core.Insts

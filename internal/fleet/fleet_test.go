@@ -9,6 +9,7 @@ import (
 
 	"k23/internal/asm"
 	"k23/internal/interpose"
+	"k23/internal/obsv"
 )
 
 // normalize zeroes host-timing fields so Results compare exactly.
@@ -56,6 +57,117 @@ func TestFleetDeterminism(t *testing.T) {
 			t.Errorf("machine %s: empty trace (hash=%#x steps=%d) — hashing not wired?",
 				serial[i].Name, serial[i].TraceHash, serial[i].Steps)
 		}
+	}
+}
+
+// TestFleetTracingDeterminism is the observability half of the
+// determinism contract: with every collector on — flight recorder
+// (deliberately small ring to force wraparound), metrics, profiler —
+// per-machine results including the full retained event stream must be
+// bit-identical at workers=1 and workers=8, and identical to the hashes
+// of an untraced run (observers must not perturb execution). Under
+// `go test -race` this also proves the per-World recorders share no
+// state.
+func TestFleetTracingDeterminism(t *testing.T) {
+	machines := StandardFleet(12)
+	obs := Options{
+		Workers: 1,
+		Hash:    true,
+		// ring 128 guarantees wraparound; a short sampling period makes
+		// even the quickest workloads (pwd) collect profile samples.
+		Obs: obsv.Options{Trace: true, RingSize: 128, Metrics: true, ProfileEvery: 256},
+	}
+	run := func(workers int) []Result {
+		o := obs
+		o.Workers = workers
+		rep, err := Run(context.Background(), machines, o)
+		if err != nil {
+			t.Fatalf("fleet run (workers=%d): %v", workers, err)
+		}
+		if err := rep.FirstErr(); err != nil {
+			t.Fatalf("fleet run (workers=%d): %v", workers, err)
+		}
+		return normalize(rep)
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("machine %s (traced) differs between workers=1 and workers=8", serial[i].Name)
+		}
+	}
+
+	// Observers must not perturb the simulation: hashes match an
+	// untraced run exactly.
+	plain, err := Run(context.Background(), machines, Options{Workers: 8, Hash: true})
+	if err != nil {
+		t.Fatalf("untraced fleet run: %v", err)
+	}
+	for i := range serial {
+		p := plain.Machines[i]
+		s := serial[i]
+		if s.TraceHash != p.TraceHash || s.EventHash != p.EventHash || s.VFSHash != p.VFSHash {
+			t.Errorf("machine %s: tracing perturbed execution: traced={%#x %#x %#x} plain={%#x %#x %#x}",
+				s.Name, s.TraceHash, s.EventHash, s.VFSHash, p.TraceHash, p.EventHash, p.VFSHash)
+		}
+	}
+
+	// Ring wraparound drops oldest-first with an observable monotonic
+	// sequence gap.
+	sawWrap := false
+	for i := range serial {
+		o := serial[i].Obs
+		if o == nil || len(o.Trace) == 0 {
+			t.Errorf("machine %s: no trace collected", serial[i].Name)
+			continue
+		}
+		for j := 1; j < len(o.Trace); j++ {
+			if o.Trace[j].Seq <= o.Trace[j-1].Seq {
+				t.Fatalf("machine %s: trace seq not monotonic at %d: %d then %d",
+					serial[i].Name, j, o.Trace[j-1].Seq, o.Trace[j].Seq)
+			}
+		}
+		last := o.Trace[len(o.Trace)-1]
+		if last.Seq != o.TraceSeq-1 {
+			t.Errorf("machine %s: newest record seq %d, want %d (newest retained)",
+				serial[i].Name, last.Seq, o.TraceSeq-1)
+		}
+		if o.TraceSeq > uint64(len(o.Trace)) {
+			sawWrap = true
+			wantFirst := o.TraceSeq - 128 // ring capacity
+			if o.Trace[0].Seq != wantFirst {
+				t.Errorf("machine %s: after wraparound first seq %d, want %d (oldest-first drop)",
+					serial[i].Name, o.Trace[0].Seq, wantFirst)
+			}
+			if len(o.Trace) != 128 {
+				t.Errorf("machine %s: wrapped ring retains %d records, want 128",
+					serial[i].Name, len(o.Trace))
+			}
+		}
+		if o.Metrics == nil || o.Metrics.TotalSyscalls() == 0 {
+			t.Errorf("machine %s: no metrics collected", serial[i].Name)
+		}
+		if o.Profile == nil || o.Profile.TotalSamples() == 0 {
+			t.Errorf("machine %s: no profile samples", serial[i].Name)
+		}
+	}
+	if !sawWrap {
+		t.Error("no machine wrapped the 128-entry ring — test lost its wraparound coverage")
+	}
+
+	// The merged fleet view aggregates every machine.
+	rep := &Report{Machines: serial}
+	merged := rep.MergedObs()
+	if merged == nil || merged.Metrics == nil {
+		t.Fatal("MergedObs returned no metrics")
+	}
+	var want uint64
+	for i := range serial {
+		want += serial[i].Obs.Metrics.TotalSyscalls()
+	}
+	if got := merged.Metrics.TotalSyscalls(); got != want {
+		t.Errorf("merged syscall total %d, want %d", got, want)
 	}
 }
 

@@ -51,6 +51,16 @@ type Call struct {
 	Mechanism Mechanism
 }
 
+// Observe publishes a mechanism-attribution event for c on its kernel's
+// trace stream: "syscall Num at Site was handled by Mechanism". Every
+// interposer calls this where it bumps its own per-mechanism counter,
+// which is how the observability layer breaks metrics down by path
+// (rewrite vs. sud vs. ptrace) without importing any interposer.
+// Nil-cost when no event observer is installed.
+func Observe(c *Call) {
+	c.Kernel.EmitInterposed(c.Thread, c.Mechanism.String(), c.Num, c.Site)
+}
+
 // Hook observes and optionally emulates a syscall. If emulated is true,
 // ret is returned to the application and the original call is not
 // executed. A nil Hook passes everything through — the "empty

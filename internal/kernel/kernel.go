@@ -293,13 +293,75 @@ type Tracer interface {
 // internal/loader to break the kernel<->loader dependency cycle.
 type ExecHandler func(k *Kernel, t *Thread, path string, argv, env []string) error
 
-// Event is a kernel trace event, for strace-like observers.
+// EventKind is the typed discriminator of kernel trace events. Observers
+// (the flight recorder, the fleet event hasher, tests) switch on it
+// without string comparisons; String() preserves the historical text
+// labels for rendered streams.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvUnknown       EventKind = iota
+	EvEnter                   // syscall entry (Num = nr, Args valid)
+	EvExit                    // syscall exit (Num = nr, Ret valid)
+	EvSignal                  // signal delivered to a user-space handler
+	EvFork                    // fork (Ret = child PID)
+	EvExec                    // execve (Detail = path)
+	EvExitProc                // process finished (Num = exit code, Detail = ExitInfo)
+	EvSudSigsys               // SUD blocked a syscall and raised SIGSYS
+	EvSeccompSigsys           // a seccomp filter raised SIGSYS
+	EvInterposed              // an interposer handled a call (Detail = mechanism)
+)
+
+// String returns the historical text label of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvEnter:
+		return "enter"
+	case EvExit:
+		return "exit"
+	case EvSignal:
+		return "signal"
+	case EvFork:
+		return "fork"
+	case EvExec:
+		return "exec"
+	case EvExitProc:
+		return "exit-proc"
+	case EvSudSigsys:
+		return "sud-sigsys"
+	case EvSeccompSigsys:
+		return "seccomp-sigsys"
+	case EvInterposed:
+		return "interposed"
+	default:
+		return "unknown"
+	}
+}
+
+// EventKindByName is the inverse of EventKind.String, for parsers
+// (JSONL schema validation).
+func EventKindByName(s string) (EventKind, bool) {
+	for k := EvEnter; k <= EvInterposed; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return EvUnknown, false
+}
+
+// Event is a kernel trace event, for strace-like observers. Events are
+// only constructed when an observer is installed (see Tracing): the
+// disabled path pays a single nil-check branch per would-be event.
 type Event struct {
 	PID, TID int
-	Kind     string // "enter", "exit", "signal", "exec", "fork", "exit-proc"
-	Num      uint64 // syscall number or signal number
-	Site     uint64
-	Ret      uint64
+	Kind     EventKind
+	Num      uint64    // syscall number or signal number
+	Site     uint64    // address of the triggering instruction
+	Ret      uint64    // syscall return value (EvExit, EvFork)
+	Clock    uint64    // virtual clock at emission (latency attribution)
+	Cost     uint64    // cycles charged to the thread by this call (EvExit)
+	Args     [6]uint64 // syscall arguments (EvEnter only)
 	Detail   string
 }
 
@@ -311,8 +373,16 @@ type Kernel struct {
 	// Quantum is the scheduler preemption quantum in instructions.
 	Quantum int
 
-	// EventHook, if non-nil, receives kernel trace events.
+	// EventHook, if non-nil, receives kernel trace events. Observability
+	// layers that want to stack on an existing hook should install via
+	// AddEventHook.
 	EventHook func(Event)
+
+	// ProfileHook, if non-nil, receives one (tid, rip) sample every
+	// profileEvery retired instructions. Sampling is driven by the
+	// virtual clock, so it is deterministic: the same machine produces
+	// the same samples regardless of host scheduling or worker count.
+	ProfileHook func(tid int, rip uint64)
 
 	// DecodeCacheOff disables the per-core decoded-instruction cache on
 	// every core this kernel creates (NewThread and execve Rebind). The
@@ -332,6 +402,11 @@ type Kernel struct {
 	procs   map[int]*Process
 	order   []int // scheduling order of PIDs
 	nextPID int
+
+	// profileEvery is the sampling period in virtual-clock ticks
+	// (0 = profiling off); profileNext is the next sample deadline.
+	profileEvery uint64
+	profileNext  uint64
 
 	net   *netStack
 	vvars []vvarReg
@@ -562,10 +637,65 @@ func (k *Kernel) TraceeRegs(t *Thread) *cpu.Context {
 	return &t.Core.Ctx
 }
 
-// emit sends a trace event to the hook, if installed.
+// Tracing reports whether an event observer is installed. Emit sites
+// check it BEFORE constructing the Event, so the disabled path neither
+// allocates nor formats Detail strings — the single guarded branch the
+// observability cost contract requires.
+func (k *Kernel) Tracing() bool { return k.EventHook != nil }
+
+// emit stamps the virtual clock onto the event and sends it to the hook.
+// Callers must have checked Tracing() first (lazy construction).
 func (k *Kernel) emit(ev Event) {
-	if k.EventHook != nil {
-		k.EventHook(ev)
+	ev.Clock = k.VClock
+	k.EventHook(ev)
+}
+
+// AddEventHook installs fn as an event observer, chaining any hook that
+// is already installed (the new hook runs first). It returns the
+// previous hook, which the caller may use to restore the old state.
+func (k *Kernel) AddEventHook(fn func(Event)) (prev func(Event)) {
+	prev = k.EventHook
+	if prev == nil {
+		k.EventHook = fn
+		return nil
+	}
+	old := prev
+	k.EventHook = func(ev Event) {
+		fn(ev)
+		old(ev)
+	}
+	return prev
+}
+
+// EmitInterposed publishes a mechanism-attribution event on behalf of an
+// interposer layer: syscall nr at site was handled by mechanism mech
+// ("rewrite", "sud", "ptrace"). Nil-cost when no observer is installed.
+func (k *Kernel) EmitInterposed(t *Thread, mech string, nr, site uint64) {
+	if k.EventHook == nil {
+		return
+	}
+	k.emit(Event{PID: t.Proc.PID, TID: t.TID, Kind: EvInterposed, Num: nr, Site: site, Detail: mech})
+}
+
+// SetProfile installs (or, with every == 0, removes) the sampling
+// profiler hook. The first sample fires `every` virtual-clock ticks
+// from now.
+func (k *Kernel) SetProfile(every uint64, hook func(tid int, rip uint64)) {
+	if every == 0 || hook == nil {
+		k.profileEvery, k.ProfileHook = 0, nil
+		return
+	}
+	k.profileEvery = every
+	k.profileNext = k.VClock + every
+	k.ProfileHook = hook
+}
+
+// profileTick fires due samples for thread t. Callers guard on
+// profileEvery != 0 so the disabled path is one branch.
+func (k *Kernel) profileTick(t *Thread) {
+	for k.VClock >= k.profileNext {
+		k.profileNext += k.profileEvery
+		k.ProfileHook(t.TID, t.Core.Ctx.RIP)
 	}
 }
 
@@ -676,6 +806,9 @@ func (k *Kernel) runThread(t *Thread, quantum int) uint64 {
 		stop := t.Core.Step()
 		retired += t.Core.Insts - before
 		k.VClock += t.Core.Insts - before
+		if k.profileEvery != 0 {
+			k.profileTick(t)
+		}
 		if stop.Kind == cpu.StopNone {
 			continue
 		}
@@ -745,7 +878,12 @@ func (k *Kernel) finishProcess(p *Process, info ExitInfo) {
 	}
 	p.State = ProcZombie
 	p.Exit = info
-	k.emit(Event{PID: p.PID, Kind: "exit-proc", Num: uint64(info.Code), Detail: info.String()})
+	if k.Tracing() {
+		// Detail formatting (info.String) is deliberately inside the
+		// guard: process exit is not hot, but the contract — no
+		// formatting without an observer — is uniform.
+		k.emit(Event{PID: p.PID, Kind: EvExitProc, Num: uint64(info.Code), Detail: info.String()})
+	}
 }
 
 // ErrGuestWouldBlock is returned by CallGuest when the guest code issued
@@ -804,6 +942,9 @@ func (k *Kernel) CallGuest(t *Thread, entry uint64, args [6]uint64) (uint64, err
 		}
 		stop := t.Core.Step()
 		k.VClock++
+		if k.profileEvery != 0 {
+			k.profileTick(t)
+		}
 		if stop.Kind == cpu.StopNone {
 			continue
 		}

@@ -112,7 +112,7 @@ func TestSUDInterceptsAndEmulates(t *testing.T) {
 
 	var sigsys int
 	k.EventHook = func(ev kernel.Event) {
-		if ev.Kind == "sud-sigsys" {
+		if ev.Kind == kernel.EvSudSigsys {
 			sigsys++
 		}
 	}
@@ -198,7 +198,7 @@ func TestPrctlOffDisablesSUD(t *testing.T) {
 
 	var sigsys int
 	k.EventHook = func(ev kernel.Event) {
-		if ev.Kind == "sud-sigsys" {
+		if ev.Kind == kernel.EvSudSigsys {
 			sigsys++
 		}
 	}

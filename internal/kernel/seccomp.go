@@ -149,7 +149,9 @@ func (k *Kernel) seccompCheck(t *Thread, nr uint64, site uint64) (proceed bool) 
 		t.Core.Ctx.R[cpu.RAX] = errno(int(action & seccompDataMask))
 		return false
 	case SeccompRetTrap & seccompActionMask:
-		k.emit(Event{PID: p.PID, TID: t.TID, Kind: "seccomp-sigsys", Num: nr, Site: site})
+		if k.Tracing() {
+			k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvSeccompSigsys, Num: nr, Site: site})
+		}
 		k.deliverSignal(t, SIGSYS, sigInfo{
 			signo:    SIGSYS,
 			syscall:  nr,

@@ -133,7 +133,7 @@ func TestSeccompTrapWithCookieAllow(t *testing.T) {
 
 	var seccompTraps int
 	k.EventHook = func(ev kernel.Event) {
-		if ev.Kind == "seccomp-sigsys" {
+		if ev.Kind == kernel.EvSeccompSigsys {
 			seccompTraps++
 		}
 	}

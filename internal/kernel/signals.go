@@ -112,7 +112,9 @@ func (k *Kernel) deliverSignal(t *Thread, sig int, info sigInfo) {
 	ctx.R[cpu.RDX] = uctxAddr
 	ctx.R[cpu.RSP] = frameTop - 8 // slot where a return address would live
 	ctx.RIP = handler
-	k.emit(Event{PID: p.PID, TID: t.TID, Kind: "signal", Num: uint64(sig), Site: ctx.RIP})
+	if k.Tracing() {
+		k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvSignal, Num: uint64(sig), Site: ctx.RIP})
+	}
 }
 
 // sysSigreturn restores the thread context from the most recent signal

@@ -211,7 +211,7 @@ func TestDirectSyscallBypassesDispatch(t *testing.T) {
 	mt := p.MainThread()
 	var sigsys int
 	k.EventHook = func(ev kernel.Event) {
-		if ev.Kind == "sud-sigsys" {
+		if ev.Kind == kernel.EvSudSigsys {
 			sigsys++
 		}
 	}

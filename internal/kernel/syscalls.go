@@ -182,6 +182,14 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 	ctx := &t.Core.Ctx
 	nr := ctx.R[cpu.RAX]
 
+	// costBase snapshots the thread's cycle account so the exit event can
+	// report the call's full charged cost (trap, kernel work, SUD slow
+	// path, ptrace stops, signal frames). Only computed when observed.
+	var costBase uint64
+	if k.Tracing() {
+		costBase = t.Cycles()
+	}
+
 	t.charge(k.Cost.Trap)
 	if p.sudEverArmed {
 		// Arming SUD moves every syscall in the process onto a slower
@@ -198,7 +206,9 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 			return
 		}
 		if sel[0] == SelectorBlock {
-			k.emit(Event{PID: p.PID, TID: t.TID, Kind: "sud-sigsys", Num: nr, Site: site})
+			if k.Tracing() {
+				k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvSudSigsys, Num: nr, Site: site})
+			}
 			k.deliverSignal(t, SIGSYS, sigInfo{
 				signo:    SIGSYS,
 				syscall:  nr,
@@ -220,7 +230,9 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 	for i := range args {
 		args[i] = ctx.Arg(i)
 	}
-	k.emit(Event{PID: p.PID, TID: t.TID, Kind: "enter", Num: nr, Site: site})
+	if k.Tracing() {
+		k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvEnter, Num: nr, Site: site, Args: args})
+	}
 	if p.tracer != nil {
 		t.charge(k.Cost.PtraceStop)
 		if p.tracer.SyscallEnter(k, t, nr, site) {
@@ -228,6 +240,10 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 			if p.tracer != nil {
 				t.charge(k.Cost.PtraceStop)
 				p.tracer.SyscallExit(k, t, nr, ctx.R[cpu.RAX])
+			}
+			if k.Tracing() {
+				k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvExit, Num: nr, Site: site,
+					Ret: ctx.R[cpu.RAX], Cost: t.Cycles() - costBase, Detail: "suppressed"})
 			}
 			return
 		}
@@ -242,7 +258,10 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 	if !noReturn {
 		ctx.R[cpu.RAX] = ret
 	}
-	k.emit(Event{PID: p.PID, TID: t.TID, Kind: "exit", Num: nr, Site: site, Ret: ret})
+	if k.Tracing() {
+		k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvExit, Num: nr, Site: site, Ret: ret,
+			Cost: t.Cycles() - costBase})
+	}
 
 	if p.State == ProcRunning && p.tracer != nil && !noReturn {
 		t.charge(k.Cost.PtraceStop)
@@ -790,7 +809,9 @@ func (k *Kernel) sysFork(t *Thread) uint64 {
 	ct := k.NewThread(child, ctx)
 	ct.sud = t.sud
 
-	k.emit(Event{PID: parent.PID, TID: t.TID, Kind: "fork", Ret: uint64(child.PID)})
+	if k.Tracing() {
+		k.emit(Event{PID: parent.PID, TID: t.TID, Kind: EvFork, Ret: uint64(child.PID)})
+	}
 	return uint64(child.PID)
 }
 
@@ -834,7 +855,9 @@ func (k *Kernel) sysExecve(t *Thread, pathAddr, argvAddr, envAddr uint64) (uint6
 	if k.Exec == nil {
 		return errno(ENOSYS), false
 	}
-	k.emit(Event{PID: p.PID, TID: t.TID, Kind: "exec", Detail: path})
+	if k.Tracing() {
+		k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvExec, Detail: path})
+	}
 	if p.tracer != nil {
 		// PTRACE_EVENT_EXEC analogue: the tracer inspects — and may
 		// rewrite — the new environment. This is where K23's ptracer

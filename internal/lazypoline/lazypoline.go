@@ -281,6 +281,7 @@ func (l *Lazypoline) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 		call.Args[i] = v
 	}
 	st.stats.SUD++
+	interpose.Observe(call)
 
 	// Stage the rewrite. lazypoline rewrites whatever site trapped; the
 	// CPU decoded 0F 05 there, but that says nothing about whether it
@@ -402,6 +403,7 @@ func (l *Lazypoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 		call.Args[i] = ctx.Arg(i)
 	}
 	st.last[t.TID] = call
+	interpose.Observe(call)
 	if l.Config.Hook != nil {
 		if ret, emulated := l.Config.Hook(call); emulated {
 			ctx.R[cpu.RAX] = ret

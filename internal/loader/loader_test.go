@@ -111,7 +111,7 @@ func TestVdsoGettimeofdayIssuesNoSyscall(t *testing.T) {
 
 	var timeCalls int
 	k.EventHook = func(ev kernel.Event) {
-		if ev.Kind == "enter" && ev.Num == kernel.SysGettimeofday {
+		if ev.Kind == kernel.EvEnter && ev.Num == kernel.SysGettimeofday {
 			timeCalls++
 		}
 	}
@@ -144,7 +144,7 @@ func TestDisableVDSOForcesSyscall(t *testing.T) {
 
 	var timeCalls int
 	k.EventHook = func(ev kernel.Event) {
-		if ev.Kind == "enter" && ev.Num == kernel.SysGettimeofday {
+		if ev.Kind == kernel.EvEnter && ev.Num == kernel.SysGettimeofday {
 			timeCalls++
 		}
 	}

@@ -1,0 +1,108 @@
+package obsv
+
+import (
+	"fmt"
+
+	"k23/internal/kernel"
+)
+
+// syscallNames maps the simulated kernel's syscall numbers to their
+// Linux names, for strace-style rendering and metric labels.
+var syscallNames = map[uint64]string{
+	kernel.SysRead: "read", kernel.SysWrite: "write", kernel.SysOpen: "open",
+	kernel.SysOpenat: "openat", kernel.SysClose: "close", kernel.SysStat: "stat",
+	kernel.SysFstat: "fstat", kernel.SysMmap: "mmap", kernel.SysMprotect: "mprotect",
+	kernel.SysMunmap: "munmap", kernel.SysBrk: "brk",
+	kernel.SysRtSigaction: "rt_sigaction", kernel.SysRtSigprocmask: "rt_sigprocmask",
+	kernel.SysRtSigreturn: "rt_sigreturn", kernel.SysIoctl: "ioctl",
+	kernel.SysAccess: "access", kernel.SysSchedYield: "sched_yield",
+	kernel.SysMadvise: "madvise", kernel.SysNanosleep: "nanosleep",
+	kernel.SysGetpid: "getpid", kernel.SysSocket: "socket",
+	kernel.SysAccept: "accept", kernel.SysAccept4: "accept4",
+	kernel.SysSendto: "sendto", kernel.SysRecvfrom: "recvfrom",
+	kernel.SysBind: "bind", kernel.SysListen: "listen",
+	kernel.SysClone: "clone", kernel.SysFork: "fork",
+	kernel.SysExecve: "execve", kernel.SysExit: "exit",
+	kernel.SysExitGroup: "exit_group", kernel.SysWait4: "wait4",
+	kernel.SysKill: "kill", kernel.SysUname: "uname", kernel.SysFcntl: "fcntl",
+	kernel.SysGetcwd: "getcwd", kernel.SysChdir: "chdir",
+	kernel.SysMkdir: "mkdir", kernel.SysUnlink: "unlink",
+	kernel.SysChmod: "chmod", kernel.SysGettimeofday: "gettimeofday",
+	kernel.SysPtrace: "ptrace", kernel.SysGetuid: "getuid",
+	kernel.SysPrctl: "prctl", kernel.SysArchPrctl: "arch_prctl",
+	kernel.SysGettid: "gettid", kernel.SysTime: "time",
+	kernel.SysFutex: "futex", kernel.SysEpollWait: "epoll_wait",
+	kernel.SysEpollCtl: "epoll_ctl", kernel.SysEpollCreate1: "epoll_create1",
+	kernel.SysClockGettime: "clock_gettime", kernel.SysSeccomp: "seccomp",
+	kernel.SysProcessVMReadv: "process_vm_readv", kernel.SysGetrandom: "getrandom",
+	kernel.SysPkeyMprotect: "pkey_mprotect", kernel.SysPkeyAlloc: "pkey_alloc",
+	kernel.SysPkeyFree: "pkey_free",
+}
+
+// SyscallName returns the Linux name of nr, or "syscall_N" for numbers
+// the simulation does not model by name (e.g. the microbenchmark's 500).
+func SyscallName(nr uint64) string {
+	if n, ok := syscallNames[nr]; ok {
+		return n
+	}
+	return fmt.Sprintf("syscall_%d", nr)
+}
+
+// syscallArity gives the number of meaningful arguments per syscall.
+// The simulated guest does not clear unused argument registers, so the
+// strace renderer needs the real arity to avoid printing stale values
+// (Linux arities, see man 2 syscall).
+var syscallArity = map[uint64]int{
+	kernel.SysRead: 3, kernel.SysWrite: 3, kernel.SysOpen: 2,
+	kernel.SysOpenat: 3, kernel.SysClose: 1, kernel.SysStat: 2,
+	kernel.SysFstat: 2, kernel.SysMmap: 6, kernel.SysMprotect: 3,
+	kernel.SysMunmap: 2, kernel.SysBrk: 1,
+	kernel.SysRtSigaction: 4, kernel.SysRtSigprocmask: 4,
+	kernel.SysRtSigreturn: 0, kernel.SysIoctl: 3,
+	kernel.SysAccess: 2, kernel.SysSchedYield: 0,
+	kernel.SysMadvise: 3, kernel.SysNanosleep: 2,
+	kernel.SysGetpid: 0, kernel.SysSocket: 3,
+	kernel.SysAccept: 3, kernel.SysAccept4: 4,
+	kernel.SysSendto: 6, kernel.SysRecvfrom: 6,
+	kernel.SysBind: 3, kernel.SysListen: 2,
+	kernel.SysClone: 5, kernel.SysFork: 0,
+	kernel.SysExecve: 3, kernel.SysExit: 1,
+	kernel.SysExitGroup: 1, kernel.SysWait4: 4,
+	kernel.SysKill: 2, kernel.SysUname: 1, kernel.SysFcntl: 3,
+	kernel.SysGetcwd: 2, kernel.SysChdir: 1,
+	kernel.SysMkdir: 2, kernel.SysUnlink: 1,
+	kernel.SysChmod: 2, kernel.SysGettimeofday: 2,
+	kernel.SysPtrace: 4, kernel.SysGetuid: 0,
+	kernel.SysPrctl: 5, kernel.SysArchPrctl: 2,
+	kernel.SysGettid: 0, kernel.SysTime: 1,
+	kernel.SysFutex: 6, kernel.SysEpollWait: 4,
+	kernel.SysEpollCtl: 4, kernel.SysEpollCreate1: 1,
+	kernel.SysClockGettime: 2, kernel.SysSeccomp: 3,
+	kernel.SysProcessVMReadv: 6, kernel.SysGetrandom: 3,
+	kernel.SysPkeyMprotect: 4, kernel.SysPkeyAlloc: 2,
+	kernel.SysPkeyFree: 1,
+}
+
+// SyscallArity returns the argument count of nr if the simulation
+// models it by name.
+func SyscallArity(nr uint64) (int, bool) {
+	n, ok := syscallArity[nr]
+	return n, ok
+}
+
+// errnoNames covers the errno values the simulated kernel returns.
+var errnoNames = map[int]string{
+	kernel.EPERM: "EPERM", kernel.ENOENT: "ENOENT", kernel.EINTR: "EINTR",
+	kernel.EBADF: "EBADF", kernel.EAGAIN: "EAGAIN", kernel.ENOMEM: "ENOMEM",
+	kernel.EACCES: "EACCES", kernel.EFAULT: "EFAULT", kernel.EEXIST: "EEXIST",
+	kernel.ENOTDIR: "ENOTDIR", kernel.EISDIR: "EISDIR", kernel.EINVAL: "EINVAL",
+	kernel.ENOSYS: "ENOSYS",
+}
+
+// ErrnoName returns the symbolic name of errno e ("E42" if unknown).
+func ErrnoName(e int) string {
+	if n, ok := errnoNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("E%d", e)
+}

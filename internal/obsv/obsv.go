@@ -1,0 +1,163 @@
+// Package obsv is K23's observability subsystem: a flight-recorder
+// trace ring, per-syscall/per-mechanism metrics, and a deterministic
+// sampling guest profiler, all fed from the kernel's event stream.
+//
+// Design rules (ISSUE 3):
+//
+//   - Nil-cost when disabled. An Observer with everything off installs
+//     no hooks at all; the kernel's fast paths stay behind a single
+//     `if k.Tracing()` branch and never construct events.
+//   - No shared state. One Observer per World/kernel; fleets merge
+//     per-machine Snapshots at report time. Nothing here takes a lock
+//     on the simulation path, which is what keeps TestFleetDeterminism
+//     bit-identical with tracing on or off, workers=1 or 8.
+//   - Deterministic output. Everything is keyed to the virtual clock
+//     and sorted at snapshot time; no wall-clock or map-order leaks.
+package obsv
+
+import (
+	"k23/internal/kernel"
+)
+
+// Options selects which collectors an Observer runs.
+type Options struct {
+	// Trace enables the flight recorder.
+	Trace bool
+	// RingSize is the flight-recorder capacity (events). Zero selects
+	// DefaultRingSize. Rounded up to a power of two.
+	RingSize int
+	// Metrics enables per-syscall / per-process / per-mechanism
+	// aggregation.
+	Metrics bool
+	// ProfileEvery samples the running thread's RIP every N virtual
+	// clock ticks. Zero disables profiling.
+	ProfileEvery uint64
+}
+
+// Enabled reports whether any collector is requested.
+func (o Options) Enabled() bool {
+	return o.Trace || o.Metrics || o.ProfileEvery != 0
+}
+
+// Observer bundles the collectors for one kernel (one World). Create
+// with New, attach with Install, read with Snapshot.
+type Observer struct {
+	Opts     Options
+	Ring     *Recorder // nil unless Opts.Trace
+	Metrics  *Metrics  // nil unless Opts.Metrics
+	Profiler *Profiler // nil unless Opts.ProfileEvery != 0
+
+	k *kernel.Kernel // set by Install; used for symbolization
+}
+
+// New builds an Observer for opts. Collectors that are off stay nil and
+// cost nothing.
+func New(opts Options) *Observer {
+	o := &Observer{Opts: opts}
+	if opts.Trace {
+		o.Ring = NewRecorder(opts.RingSize)
+	}
+	if opts.Metrics {
+		o.Metrics = NewMetrics()
+	}
+	if opts.ProfileEvery != 0 {
+		o.Profiler = NewProfiler()
+	}
+	return o
+}
+
+// Install attaches the observer to k. With no collectors enabled this
+// installs nothing: EventHook and the profiler slot stay nil, so the
+// kernel's `if k.Tracing()` guards keep the hot path branch-only.
+// Install chains with any previously installed event hook (the fleet's
+// event hasher keeps running).
+func (o *Observer) Install(k *kernel.Kernel) {
+	o.k = k
+	if o.Ring != nil || o.Metrics != nil {
+		o.installEventHook(k)
+	}
+	if o.Profiler != nil {
+		k.SetProfile(o.Opts.ProfileEvery, o.Profiler.Sample)
+	}
+}
+
+func (o *Observer) installEventHook(k *kernel.Kernel) {
+	ring, metrics := o.Ring, o.Metrics
+	k.AddEventHook(func(e kernel.Event) {
+		// Pass down by pointer: the collectors only read the event for
+		// the duration of the call, and the hook fires per syscall.
+		if ring != nil {
+			ring.Append(&e)
+		}
+		if metrics != nil {
+			metrics.Handle(&e)
+		}
+	})
+}
+
+// Option adapts the observer into a kernel.Option so call sites that
+// build kernels indirectly (the pitfall PoCs) can thread observability
+// through without importing anything beyond the option slice they
+// already accept.
+func Option(o *Observer) kernel.Option {
+	return func(k *kernel.Kernel) { o.Install(k) }
+}
+
+// Snapshot is the frozen, mergeable, DeepEqual-comparable output of one
+// Observer (or, after Merge, of a whole fleet).
+type Snapshot struct {
+	// Trace holds the retained flight-recorder records, oldest first.
+	Trace []Record `json:"trace,omitempty"`
+	// TraceSeq is the total number of events ever recorded; TraceSeq -
+	// len(Trace) events were dropped to ring wraparound.
+	TraceSeq uint64 `json:"trace_seq,omitempty"`
+	// Metrics is nil when metrics were off.
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+	// Profile is nil when profiling was off.
+	Profile *ProfileSnapshot `json:"profile,omitempty"`
+}
+
+// Snapshot freezes the observer's state. Call after the machine has
+// quiesced (fleet does this at the end of runMachine). The kernel the
+// observer was installed on supplies memory maps for profile
+// symbolization and decode-cache counters for metrics.
+func (o *Observer) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if o.Ring != nil {
+		s.Trace = o.Ring.Snapshot()
+		s.TraceSeq = o.Ring.Seq()
+	}
+	if o.Metrics != nil {
+		s.Metrics = o.Metrics.Snapshot()
+		if o.k != nil {
+			s.Metrics.DecodeCache = o.k.DecodeCacheStats()
+		}
+	}
+	if o.Profiler != nil && o.k != nil {
+		s.Profile = o.Profiler.Snapshot(o.k, o.Opts.ProfileEvery)
+	}
+	return s
+}
+
+// Merge folds other into s: traces concatenate in machine order (each
+// machine's records stay contiguous and ordered), metrics histograms
+// add bucketwise, profiles sum per call site.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	s.Trace = append(s.Trace, other.Trace...)
+	s.TraceSeq += other.TraceSeq
+	if other.Metrics != nil {
+		if s.Metrics == nil {
+			s.Metrics = &MetricsSnapshot{}
+		}
+		s.Metrics.Merge(other.Metrics)
+	}
+	if other.Profile != nil {
+		if s.Profile == nil {
+			s.Profile = &ProfileSnapshot{Period: other.Profile.Period}
+		}
+		s.Profile.Merge(other.Profile)
+	}
+}

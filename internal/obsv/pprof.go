@@ -1,0 +1,148 @@
+package obsv
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof emits the profile as a gzipped pprof protobuf
+// (profile.proto), readable by `go tool pprof`. The encoding is
+// hand-rolled — the simulation carries no protobuf dependency — and
+// covers the subset pprof requires: sample/value types, one location
+// per call site, and a function per symbolized site so the text and
+// graph views show region+offset names instead of raw addresses.
+//
+// Output is deterministic: samples are already sorted in the snapshot
+// and no wall-clock timestamp is embedded.
+func (s *ProfileSnapshot) WritePprof(w io.Writer) error {
+	strs := newStringTable()
+	samplesIdx := strs.index("samples")
+	countIdx := strs.index("count")
+	cpuIdx := strs.index("vcycles")
+	vclockIdx := strs.index("vclock")
+
+	var p pbuf
+	// sample_type #1: ValueType{type: "samples", unit: "count"}
+	var vt pbuf
+	vt.varintField(1, uint64(samplesIdx))
+	vt.varintField(2, uint64(countIdx))
+	p.bytesField(1, vt.b)
+	// sample_type #2: ValueType{type: "vcycles", unit: "vclock"} —
+	// sample count scaled by the sampling period.
+	vt = pbuf{}
+	vt.varintField(1, uint64(cpuIdx))
+	vt.varintField(2, uint64(vclockIdx))
+	p.bytesField(1, vt.b)
+
+	period := s.Period
+	if period == 0 {
+		period = 1
+	}
+
+	// One location + function per distinct symbolized site.
+	type site struct{ locID, funcID uint64 }
+	sites := make(map[string]site)
+	var locs, funcs pbuf
+	nextID := uint64(1)
+	siteFor := func(sym string, addr uint64) uint64 {
+		if st, ok := sites[sym]; ok {
+			return st.locID
+		}
+		id := nextID
+		nextID++
+		var fn pbuf
+		fn.varintField(1, id)
+		fn.varintField(2, uint64(strs.index(sym)))
+		fn.varintField(3, uint64(strs.index(sym)))
+		funcs.bytesField(5, fn.b)
+		var line pbuf
+		line.varintField(1, id)
+		var loc pbuf
+		loc.varintField(1, id)
+		loc.varintField(3, addr)
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b)
+		sites[sym] = site{locID: id, funcID: id}
+		return id
+	}
+
+	for _, smp := range s.Samples {
+		locID := siteFor(smp.Prog+";"+smp.Symbol(), smp.RIP)
+		var sm pbuf
+		var ids pbuf
+		ids.varint(locID)
+		sm.bytesField(1, ids.b) // packed location_id
+		var vals pbuf
+		vals.varint(smp.Count)
+		vals.varint(smp.Count * period)
+		sm.bytesField(2, vals.b) // packed value
+		p.bytesField(2, sm.b)
+	}
+	p.b = append(p.b, locs.b...)
+	p.b = append(p.b, funcs.b...)
+	for _, str := range strs.list {
+		p.stringField(6, str)
+	}
+	// period_type: ValueType{type: "vcycles", unit: "vclock"}; period.
+	vt = pbuf{}
+	vt.varintField(1, uint64(cpuIdx))
+	vt.varintField(2, uint64(vclockIdx))
+	p.bytesField(11, vt.b)
+	p.varintField(12, period)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// pbuf is a minimal protobuf wire-format builder.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) key(field, wire uint64) { p.varint(field<<3 | wire) }
+
+func (p *pbuf) varintField(field, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.key(field, 0)
+	p.varint(v)
+}
+
+func (p *pbuf) bytesField(field uint64, b []byte) {
+	p.key(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field uint64, s string) { p.bytesField(field, []byte(s)) }
+
+// stringTable interns strings for the pprof string_table; index 0 is
+// the mandatory empty string.
+type stringTable struct {
+	list []string
+	idx  map[string]int
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{list: []string{""}, idx: map[string]int{"": 0}}
+}
+
+func (t *stringTable) index(s string) int {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := len(t.list)
+	t.list = append(t.list, s)
+	t.idx[s] = i
+	return i
+}

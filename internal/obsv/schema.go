@@ -1,0 +1,89 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"k23/internal/kernel"
+)
+
+// ValidateJSONL checks a flight-recorder JSONL stream against the trace
+// schema and returns the number of valid records. It enforces:
+//
+//   - every line is a JSON object with seq, clock, pid, tid, kind
+//   - kind is a known event kind name
+//   - seq is strictly increasing (gaps are legal — ring wraparound
+//     drops oldest records — but reordering and duplicates are not)
+//   - clock is non-decreasing
+//   - "enter" records carry name and args; "exit" records carry name
+//     and ret
+//
+// Monotonicity is scoped by the optional "m" (machine) tag, so one
+// file can carry the independent per-machine streams of a fleet run.
+// The first violation is returned with its 1-based line number.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	count := 0
+	type cursor struct {
+		seq, clock uint64
+	}
+	last := make(map[string]cursor)
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return count, fmt.Errorf("line %d: not a JSON object: %v", line, err)
+		}
+		for _, req := range []string{"seq", "clock", "pid", "tid", "kind"} {
+			if _, ok := m[req]; !ok {
+				return count, fmt.Errorf("line %d: missing required field %q", line, req)
+			}
+		}
+		var rec jsonRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return count, fmt.Errorf("line %d: bad field types: %v", line, err)
+		}
+		kind, ok := kernel.EventKindByName(rec.Kind)
+		if !ok {
+			return count, fmt.Errorf("line %d: unknown event kind %q", line, rec.Kind)
+		}
+		if prev, seen := last[rec.Machine]; seen {
+			if rec.Seq <= prev.seq {
+				return count, fmt.Errorf("line %d: seq %d not after previous %d", line, rec.Seq, prev.seq)
+			}
+			if rec.Clock < prev.clock {
+				return count, fmt.Errorf("line %d: clock %d before previous %d", line, rec.Clock, prev.clock)
+			}
+		}
+		last[rec.Machine] = cursor{seq: rec.Seq, clock: rec.Clock}
+		switch kind {
+		case kernel.EvEnter:
+			if rec.Name == "" {
+				return count, fmt.Errorf("line %d: enter record missing name", line)
+			}
+			if _, ok := m["args"]; !ok {
+				return count, fmt.Errorf("line %d: enter record missing args", line)
+			}
+		case kernel.EvExit:
+			if rec.Name == "" {
+				return count, fmt.Errorf("line %d: exit record missing name", line)
+			}
+			if _, ok := m["ret"]; !ok {
+				return count, fmt.Errorf("line %d: exit record missing ret", line)
+			}
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return count, fmt.Errorf("line %d: %v", line, err)
+	}
+	return count, nil
+}

@@ -56,6 +56,7 @@ func (tr *tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site uint
 		call.Args[i] = regs.Arg(i)
 	}
 	tr.st.last[t.TID] = call
+	interpose.Observe(call)
 	if tr.pt.Config.Hook == nil {
 		return false
 	}

@@ -271,6 +271,7 @@ func (s *SUD) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 		call.Args[i] = v
 	}
 	st.stats.SUD++
+	interpose.Observe(call)
 
 	var ret uint64
 	emulated := false

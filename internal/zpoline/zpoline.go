@@ -352,6 +352,7 @@ func (z *Zpoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 		call.Args[i] = ctx.Arg(i)
 	}
 	st.last[t.TID] = call
+	interpose.Observe(call)
 	if z.Config.Hook != nil {
 		if ret, emulated := z.Config.Hook(call); emulated {
 			ctx.R[cpu.RAX] = ret
