@@ -23,11 +23,35 @@ import (
 	"strings"
 
 	"k23/internal/bench"
+	"k23/internal/chaos"
 	"k23/internal/fleet"
 	"k23/internal/interpose/variants"
+	"k23/internal/kernel"
 	"k23/internal/obsv"
 	"k23/internal/pitfalls"
 )
+
+// chaosSweepBase is the default -chaos-sweep base seed (also the one the
+// internal/chaos tier-1 tests use), so CI failures reproduce locally
+// without copying flags.
+const chaosSweepBase = 0xc1a05
+
+// reportSweep prints one sweep report in the E16 shape, including a
+// copy-pasteable repro command for every failing seed.
+func reportSweep(rep *chaos.Report) error {
+	fmt.Printf("seeds swept:    %d\n", rep.Seeds)
+	fmt.Printf("runs executed:  %d\n", rep.Runs)
+	fmt.Printf("perturbations:  %d\n", rep.Injected)
+	fmt.Printf("violations:     %d\n", len(rep.Violations))
+	if len(rep.Violations) == 0 {
+		return nil
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION %s\n", v)
+		fmt.Printf("    repro: go run ./cmd/benchtab -chaos-repro %#x\n", v.Seed)
+	}
+	return fmt.Errorf("%d invariant violations", len(rep.Violations))
+}
 
 // parseWorkers turns "8" or "1,2,4,8" into worker counts, prepending a
 // workers=1 baseline when absent so the speedup column has a reference.
@@ -60,10 +84,13 @@ func main() {
 	fleetIters := flag.Int("fleet-iters", 20000, "micro loop iterations / macro requests per fleet machine")
 	sidecar := flag.Bool("metrics-sidecar", false, "print the per-variant observability sidecar (instrumented representative runs)")
 	fleetTrace := flag.String("fleet-trace", "", "with -fleet: record each machine's flight-recorder trace and write tagged JSONL to FILE")
+	chaosSeed := flag.Uint64("chaos", 0, "with -fleet: arm deterministic fault injection salted with this seed; with -chaos-sweep: the sweep base seed (0 = default)")
+	chaosSweep := flag.Int("chaos-sweep", 0, "run the chaos invariant battery (apps + pitfall matrix + fleet) over N seeds (E16)")
+	chaosRepro := flag.String("chaos-repro", "", "re-run the chaos invariant battery on one exact seed (hex or decimal), as printed by a failing sweep")
 	flag.Parse()
 
-	if *table == "" && *figure == "" && *claim == "" && *fleetN == 0 && !*sidecar {
-		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|obsoverhead | -fleet N -workers W | -metrics-sidecar")
+	if *table == "" && *figure == "" && *claim == "" && *fleetN == 0 && !*sidecar && *chaosSweep == 0 && *chaosRepro == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|obsoverhead | -fleet N -workers W | -metrics-sidecar | -chaos-sweep N | -chaos-repro SEED")
 		os.Exit(2)
 	}
 
@@ -249,20 +276,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtab: unknown fleet workload %q\n", *fleetWorkload)
 			os.Exit(2)
 		}
-		run(fmt.Sprintf("Fleet — %d %s machines, workers vs throughput", *fleetN, *fleetWorkload), func() error {
-			rows, err := bench.MeasureFleetScaling(context.Background(), machines, counts)
+		var tmpl fleet.Options
+		chaosTag := ""
+		if *chaosSeed != 0 {
+			prof := kernel.DefaultChaosProfile()
+			tmpl.Chaos = &prof
+			tmpl.ChaosSeed = *chaosSeed
+			chaosTag = fmt.Sprintf(", chaos seed %#x", *chaosSeed)
+		}
+		run(fmt.Sprintf("Fleet — %d %s machines, workers vs throughput%s", *fleetN, *fleetWorkload, chaosTag), func() error {
+			rows, err := bench.MeasureFleetScalingOpts(context.Background(), machines, counts, tmpl)
 			if err != nil {
 				return err
 			}
 			fmt.Print(bench.FormatFleetScaling(rows))
+			if *chaosSeed != 0 && len(rows) > 0 {
+				var injected uint64
+				for i := range rows[0].Report.Machines {
+					injected += rows[0].Report.Machines[i].ChaosInjected
+				}
+				fmt.Printf("chaos: %d perturbations injected per run\n", injected)
+			}
 			return nil
 		})
 		if *fleetTrace != "" {
+			opt := tmpl
+			opt.Workers = counts[len(counts)-1]
+			opt.Obs = obsv.Options{Trace: true, Metrics: true}
 			run("Fleet — observed run (flight recorder + metrics)", func() error {
-				rep, err := fleet.Run(context.Background(), machines, fleet.Options{
-					Workers: counts[len(counts)-1],
-					Obs:     obsv.Options{Trace: true, Metrics: true},
-				})
+				rep, err := fleet.Run(context.Background(), machines, opt)
 				if err != nil {
 					return err
 				}
@@ -295,5 +337,34 @@ func main() {
 				return nil
 			})
 		}
+	}
+
+	if *chaosSweep > 0 {
+		base := *chaosSeed
+		if base == 0 {
+			base = chaosSweepBase
+		}
+		run(fmt.Sprintf("Chaos — invariant sweep, %d seeds from base %#x (E16)", *chaosSweep, base), func() error {
+			rep, err := chaos.Sweep(chaos.Seeds(base, *chaosSweep), 8)
+			if err != nil {
+				return err
+			}
+			return reportSweep(rep)
+		})
+	}
+
+	if *chaosRepro != "" {
+		seed, err := strconv.ParseUint(*chaosRepro, 0, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: bad -chaos-repro seed %q: %v\n", *chaosRepro, err)
+			os.Exit(2)
+		}
+		run(fmt.Sprintf("Chaos — repro sweep, exact seed %#x", seed), func() error {
+			rep, err := chaos.Sweep([]uint64{seed}, 8)
+			if err != nil {
+				return err
+			}
+			return reportSweep(rep)
+		})
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"k23/internal/core"
 	"k23/internal/interpose"
 	"k23/internal/interpose/variants"
+	"k23/internal/kernel"
 	"k23/internal/obsv"
 )
 
@@ -95,6 +96,8 @@ func main() {
 	profileEvery := flag.Uint64("profile-every", 0,
 		"sample guest RIP every N virtual ticks (0 = default when -profile/-folded set)")
 	stats := flag.Bool("stats", false, "print interposition statistics")
+	chaosSeed := flag.Uint64("chaos", 0,
+		"arm deterministic fault injection with this seed (0 = off); perturbations appear in the trace as chaos events")
 	list := flag.Bool("list", false, "list interposer variants")
 	flag.Parse()
 
@@ -141,7 +144,11 @@ func main() {
 		}
 	}
 
-	w := interpose.NewWorld()
+	var kopts []kernel.Option
+	if *chaosSeed != 0 {
+		kopts = append(kopts, kernel.WithChaos(*chaosSeed, kernel.DefaultChaosProfile()))
+	}
+	w := interpose.NewWorld(kopts...)
 	apps.RegisterAll(w.Reg)
 	if err := apps.SetupFS(w.K.FS); err != nil {
 		fmt.Fprintln(os.Stderr, "k23:", err)
@@ -186,6 +193,10 @@ func main() {
 	os.Stdout.Write(p.Stdout)
 	os.Stderr.Write(p.Stderr)
 	fmt.Fprintf(os.Stderr, "[%s] %s\n", l.Name(), p.Exit)
+	if *chaosSeed != 0 {
+		fmt.Fprintf(os.Stderr, "[chaos] seed %#x: %d perturbations injected\n",
+			*chaosSeed, w.K.ChaosInjected())
+	}
 	if *stats {
 		st := l.Stats(p)
 		fmt.Fprintf(os.Stderr, "interposed: %d ptrace, %d rewritten, %d sud; %d sites rewritten\n",

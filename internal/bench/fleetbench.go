@@ -57,9 +57,18 @@ type FleetScalingRow struct {
 // MeasureFleetScaling runs the same fleet once per worker count and
 // returns one row per count. Any machine error fails the measurement.
 func MeasureFleetScaling(ctx context.Context, machines []fleet.Machine, workerCounts []int) ([]FleetScalingRow, error) {
+	return MeasureFleetScalingOpts(ctx, machines, workerCounts, fleet.Options{})
+}
+
+// MeasureFleetScalingOpts is MeasureFleetScaling with an Options template
+// applied to every run (Workers is overridden per row) — used to measure
+// a chaos-armed fleet.
+func MeasureFleetScalingOpts(ctx context.Context, machines []fleet.Machine, workerCounts []int, tmpl fleet.Options) ([]FleetScalingRow, error) {
 	var rows []FleetScalingRow
 	for _, w := range workerCounts {
-		rep, err := fleet.Run(ctx, machines, fleet.Options{Workers: w})
+		opt := tmpl
+		opt.Workers = w
+		rep, err := fleet.Run(ctx, machines, opt)
 		if err != nil {
 			return nil, err
 		}

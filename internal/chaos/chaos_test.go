@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"testing"
+
+	"k23/internal/kernel"
+)
+
+// Tier-1 smoke sweep: a handful of seeds through all three invariant
+// sweeps. The full 64-seed sweep runs via `benchtab -chaos-sweep` (see
+// EXPERIMENTS.md E16) and in the CI chaos job.
+
+func testSeeds(t *testing.T, n int) []uint64 {
+	if testing.Short() {
+		n = 2
+	}
+	return Seeds(0xc1a05, n)
+}
+
+func TestSweepAppsInvariants(t *testing.T) {
+	rep, err := SweepApps(testSeeds(t, 4), kernel.DefaultChaosProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+	if rep.Injected == 0 {
+		t.Fatal("sweep injected nothing: chaos is not reaching the app workloads")
+	}
+	t.Logf("apps: %d runs, %d perturbations", rep.Runs, rep.Injected)
+}
+
+func TestSweepMatrixInvariants(t *testing.T) {
+	rep, err := SweepMatrix(testSeeds(t, 4), kernel.SignalChaosProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+	t.Logf("matrix: %d runs", rep.Runs)
+}
+
+func TestSweepFleetInvariants(t *testing.T) {
+	rep, err := SweepFleet(testSeeds(t, 2), 6, 1, 4, kernel.DefaultChaosProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+	if rep.Injected == 0 {
+		t.Fatal("fleet sweep injected nothing")
+	}
+	t.Logf("fleet: %d runs, %d perturbations", rep.Runs, rep.Injected)
+}
+
+// TestSeedsDeterministic pins the seed expansion: a violation report
+// from any machine must reproduce anywhere from the seed alone.
+func TestSeedsDeterministic(t *testing.T) {
+	a, b := Seeds(7, 5), Seeds(7, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Seeds not deterministic at %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	if a[0] == a[1] {
+		t.Fatal("consecutive seeds identical")
+	}
+}

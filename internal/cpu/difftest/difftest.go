@@ -56,6 +56,9 @@ type Snapshot struct {
 	// VFSHash is a hash of the final filesystem tree (paths, modes and
 	// contents).
 	VFSHash uint64
+	// ChaosInjected counts fault-injector perturbations (0 without a
+	// chaos profile); equal counts are part of the replay contract.
+	ChaosInjected uint64
 }
 
 // Workload describes one program to run under the harness.
@@ -86,7 +89,13 @@ func AppWorkloads() []Workload {
 // Run executes one workload natively (no interposer) with the decode
 // cache enabled or disabled and returns its observable snapshot.
 func Run(w Workload, cacheOff bool) (*Snapshot, error) {
-	world := interpose.NewWorld()
+	return RunOpts(w, cacheOff)
+}
+
+// RunOpts is Run with extra kernel options — the chaos harness reuses
+// the snapshot machinery with kernel.WithChaos armed.
+func RunOpts(w Workload, cacheOff bool, opts ...kernel.Option) (*Snapshot, error) {
+	world := interpose.NewWorld(opts...)
 	world.K.DecodeCacheOff = cacheOff
 	apps.RegisterAll(world.Reg)
 	if err := apps.SetupFS(world.K.FS); err != nil {
@@ -140,6 +149,7 @@ func Run(w Workload, cacheOff bool) (*Snapshot, error) {
 	snap.Stderr = string(p.Stderr)
 	snap.Exit = p.Exit
 	snap.VFSHash = HashFS(world.K.FS)
+	snap.ChaosInjected = world.K.ChaosInjected()
 	return snap, nil
 }
 

@@ -84,6 +84,9 @@ type Result struct {
 	Exit kernel.ExitInfo
 	// VFSHash hashes the final filesystem tree.
 	VFSHash uint64
+	// ChaosInjected counts fault-injector perturbations (0 when the run
+	// had no chaos profile).
+	ChaosInjected uint64
 	// DecodeCache aggregates decode-cache counters over every core.
 	DecodeCache cpu.DecodeCacheStats
 	// Wall is the host wall-clock time this machine took.
@@ -109,6 +112,14 @@ type Options struct {
 	// Obs selects per-machine observability collectors (flight
 	// recorder, metrics, profiler). The zero value installs nothing.
 	Obs obsv.Options
+	// Chaos, when non-nil, arms deterministic fault injection on every
+	// machine. Each machine's injector seed is derived from its own
+	// Machine.Seed xor ChaosSeed, so a fleet replays bit-identically at
+	// any worker count and two sweeps with different ChaosSeed values
+	// explore different perturbation schedules.
+	Chaos *kernel.ChaosProfile
+	// ChaosSeed salts the per-machine chaos seed derivation.
+	ChaosSeed uint64
 }
 
 // Report aggregates a fleet run.
@@ -281,7 +292,11 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 
 	// One virtual-clock second per seed step keeps the offset well clear
 	// of wrap-around while making gettimeofday visibly seed-dependent.
-	world := interpose.NewWorld(kernel.WithVClock(splitmix64(m.Seed) % (1 << 40)))
+	kopts := []kernel.Option{kernel.WithVClock(splitmix64(m.Seed) % (1 << 40))}
+	if opt.Chaos != nil {
+		kopts = append(kopts, kernel.WithChaos(splitmix64(m.Seed^opt.ChaosSeed), *opt.Chaos))
+	}
+	world := interpose.NewWorld(kopts...)
 	if m.Setup != nil {
 		if err := m.Setup(world); err != nil {
 			res.Err = err.Error()
@@ -359,6 +374,7 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 		res.TraceHash = th.sum()
 	}
 	res.VFSHash = difftest.HashFS(world.K.FS)
+	res.ChaosInjected = world.K.ChaosInjected()
 	res.DecodeCache = world.K.DecodeCacheStats()
 	if obs != nil {
 		res.Obs = obs.Snapshot()

@@ -1,0 +1,197 @@
+package kernel
+
+import "fmt"
+
+// Chaos mode: a seeded, deterministic fault injector in the style of
+// rr's chaos mode. At chosen kernel points it perturbs syscall outcomes
+// the way a loaded Linux box does — signal wakeups that surface EINTR
+// from blocked calls, short reads and writes, transient resource errnos —
+// so the signal/syscall interaction bugs the paper's pitfalls live on
+// actually get exercised. All randomness flows from one splitmix64
+// stream per kernel, so a given (seed, profile, workload) triple replays
+// bit-identically; every perturbation is recorded as an EvChaos event so
+// traces explain themselves.
+//
+// Injection is gated on t.entryLen != 0: only syscalls that trapped from
+// guest code are eligible. DirectSyscall-driven host logic (interposer
+// internals, conformance probes) sees the unperturbed kernel — the same
+// line Linux draws between user-visible syscall semantics and in-kernel
+// helpers.
+
+// ChaosProfile sets per-point injection rates, each a probability in
+// 1024ths (0 = never, 1024 = always).
+type ChaosProfile struct {
+	// BlockEINTR is the chance that a syscall about to block instead
+	// returns -EINTR, modelling a signal wakeup racing the sleep.
+	BlockEINTR uint32
+	// ShortRead is the chance a read delivers only a prefix of the
+	// available data.
+	ShortRead uint32
+	// ShortWrite is the chance a write consumes only a prefix of the
+	// supplied data.
+	ShortWrite uint32
+	// Transient is the chance an eligible syscall fails at entry with a
+	// transient errno: EAGAIN (read/write), ENOMEM (mmap), EMFILE
+	// (open/socket/accept).
+	Transient uint32
+}
+
+// DefaultChaosProfile is the full perturbation mix the app and fleet
+// sweeps run under.
+func DefaultChaosProfile() ChaosProfile {
+	return ChaosProfile{BlockEINTR: 48, ShortRead: 96, ShortWrite: 96, Transient: 48}
+}
+
+// SignalChaosProfile perturbs only blocking behaviour (EINTR wakeups).
+// The pitfall-matrix sweep uses it: attack payloads deliberately issue
+// raw, retry-less syscalls, so resource-errno injection would change
+// what the PoC does rather than when — the matrix must keep its
+// baseline Handled verdicts under chaos.
+func SignalChaosProfile() ChaosProfile {
+	return ChaosProfile{BlockEINTR: 64}
+}
+
+// Enabled reports whether any injection point is live.
+func (p ChaosProfile) Enabled() bool {
+	return p.BlockEINTR != 0 || p.ShortRead != 0 || p.ShortWrite != 0 || p.Transient != 0
+}
+
+// chaosState is the per-kernel injector: a splitmix64 stream plus the
+// profile and a count of perturbations performed.
+type chaosState struct {
+	seed     uint64
+	prof     ChaosProfile
+	injected uint64
+}
+
+// WithChaos arms deterministic fault injection with the given seed and
+// profile. Like every kernel option it is instance-local: fleet machines
+// each get their own derived seed and never share injector state.
+func WithChaos(seed uint64, prof ChaosProfile) Option {
+	return func(k *Kernel) {
+		if !prof.Enabled() {
+			return
+		}
+		k.chaos = &chaosState{seed: seed, prof: prof}
+	}
+}
+
+// ChaosInjected returns the number of perturbations injected so far
+// (0 when chaos is off).
+func (k *Kernel) ChaosInjected() uint64 {
+	if k.chaos == nil {
+		return 0
+	}
+	return k.chaos.injected
+}
+
+// next advances the splitmix64 stream (same generator the fleet uses for
+// seed derivation).
+func (c *chaosState) next() uint64 {
+	c.seed += 0x9e3779b97f4a7c15
+	z := c.seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hit rolls once against a per-1024 rate.
+func (c *chaosState) hit(rate uint32) bool {
+	if rate == 0 {
+		return false
+	}
+	return uint32(c.next()&1023) < rate
+}
+
+// transientErrno rolls for an entry-time transient failure of nr.
+// Only syscalls whose Linux counterparts fail transiently are eligible,
+// each with its idiomatic errno.
+func (c *chaosState) transientErrno(nr uint64) int {
+	switch nr {
+	case SysRead, SysRecvfrom, SysWrite, SysSendto:
+		if c.hit(c.prof.Transient) {
+			return EAGAIN
+		}
+	case SysMmap:
+		if c.hit(c.prof.Transient) {
+			return ENOMEM
+		}
+	case SysOpen, SysOpenat, SysSocket, SysAccept, SysAccept4:
+		if c.hit(c.prof.Transient) {
+			return EMFILE
+		}
+	}
+	return 0
+}
+
+// IsTransient reports whether e is an errno robust host-side logic
+// should retry: the set the chaos injector can surface from otherwise
+// well-formed calls. Interposer initializers use it so their guest-gate
+// syscalls survive injection the same way the libc wrappers do.
+func IsTransient(e int) bool {
+	switch e {
+	case EINTR, EAGAIN, ENOMEM, EMFILE:
+		return true
+	}
+	return false
+}
+
+// chaosErrnoName names the injectable transient errnos for EvChaos
+// details (kernel-local; the full errno table lives in obsv).
+func chaosErrnoName(e int) string {
+	switch e {
+	case EINTR:
+		return "EINTR"
+	case EAGAIN:
+		return "EAGAIN"
+	case ENOMEM:
+		return "ENOMEM"
+	case EMFILE:
+		return "EMFILE"
+	}
+	return fmt.Sprintf("E%d", e)
+}
+
+// emitChaos counts one perturbation and publishes it to the trace.
+// detail is a closure so the disabled-observer path formats nothing.
+func (k *Kernel) emitChaos(t *Thread, nr uint64, detail func() string) {
+	k.chaos.injected++
+	if k.Tracing() {
+		k.emit(Event{PID: t.Proc.PID, TID: t.TID, Kind: EvChaos, Num: nr,
+			Site: t.entrySite, Detail: detail()})
+	}
+}
+
+// chaosBlockEINTR rolls for an EINTR wakeup at a point where t is about
+// to block. On a hit the caller returns -EINTR instead of blocking —
+// the compressed form of "a signal arrived, its handler ran, the call
+// was not restarted".
+func (k *Kernel) chaosBlockEINTR(t *Thread, nr uint64) bool {
+	if k.chaos == nil || t.entryLen == 0 || !k.chaos.hit(k.chaos.prof.BlockEINTR) {
+		return false
+	}
+	k.emitChaos(t, nr, func() string { return "EINTR wakeup at would-block" })
+	return true
+}
+
+// chaosShortRead rolls for a short read, returning a non-empty prefix of
+// chunk.
+func (k *Kernel) chaosShortRead(t *Thread, chunk []byte) []byte {
+	if k.chaos == nil || t.entryLen == 0 || len(chunk) < 2 || !k.chaos.hit(k.chaos.prof.ShortRead) {
+		return chunk
+	}
+	n := 1 + int(k.chaos.next()%uint64(len(chunk)-1))
+	k.emitChaos(t, SysRead, func() string { return fmt.Sprintf("short read %d of %d", n, len(chunk)) })
+	return chunk[:n]
+}
+
+// chaosShortWrite rolls for a short write, returning the non-empty
+// prefix the kernel will consume.
+func (k *Kernel) chaosShortWrite(t *Thread, data []byte) []byte {
+	if k.chaos == nil || t.entryLen == 0 || len(data) < 2 || !k.chaos.hit(k.chaos.prof.ShortWrite) {
+		return data
+	}
+	n := 1 + int(k.chaos.next()%uint64(len(data)-1))
+	k.emitChaos(t, SysWrite, func() string { return fmt.Sprintf("short write %d of %d", n, len(data)) })
+	return data[:n]
+}

@@ -5,6 +5,7 @@ import (
 
 	"k23/internal/asm"
 	"k23/internal/cpu"
+	"k23/internal/image"
 	"k23/internal/kernel"
 	"k23/internal/libc"
 )
@@ -18,9 +19,11 @@ import (
 //
 // Deliberate divergences from Linux, asserted as such below:
 //   - kill() on a missing pid returns ENOENT (Linux: ESRCH).
-//   - wait4() with no children blocks (Linux: ECHILD); a syscall
-//     blocked this way is restarted when the wake condition fires, so
-//     EINTR is never surfaced to the guest.
+//   - wait4() with no children blocks (Linux: ECHILD); the blocked call
+//     restarts when the wake condition fires. A signal arriving while it
+//     is blocked follows the handler's SA_RESTART flag, as on Linux:
+//     restart the call, or abort it with EINTR in RAX
+//     (TestConformanceEINTRRestart).
 
 // unmappedAddr is a guest address no test world ever maps.
 const unmappedAddr = 0xdead0000
@@ -215,11 +218,188 @@ func TestConformanceSignalsAndIdentity(t *testing.T) {
 	})
 }
 
+func TestConformanceSockets(t *testing.T) {
+	k, _, mt, _ := confWorld(t)
+
+	sfd := k.DirectSyscall(mt, kernel.SysSocket, [6]uint64{})
+	wantOK(t, "socket", sfd)
+	wantOK(t, "bind", k.DirectSyscall(mt, kernel.SysBind, [6]uint64{sfd, 8080}))
+	wantOK(t, "listen", k.DirectSyscall(mt, kernel.SysListen, [6]uint64{sfd, 8}))
+
+	sfd2 := k.DirectSyscall(mt, kernel.SysSocket, [6]uint64{})
+	wantOK(t, "socket-2", sfd2)
+
+	runErrnoCases(t, k, mt, []errnoCase{
+		{"bind-bad-fd", kernel.SysBind, [6]uint64{99, 8081}, kernel.EBADF},
+		// The port is actively listened on: the address is in use.
+		{"bind-in-use", kernel.SysBind, [6]uint64{sfd2, 8080}, kernel.EADDRINUSE},
+		{"listen-bad-fd", kernel.SysListen, [6]uint64{99, 8}, kernel.EBADF},
+		// A socket fd that was never bound has no address to listen on.
+		{"listen-unbound", kernel.SysListen, [6]uint64{sfd2, 8}, kernel.EINVAL},
+		{"accept-bad-fd", kernel.SysAccept, [6]uint64{99}, kernel.EBADF},
+		// accept on a socket that is not listening.
+		{"accept-non-listener", kernel.SysAccept, [6]uint64{sfd2}, kernel.EINVAL},
+		// A second bind to a free port on the in-use loser must work: the
+		// EADDRINUSE path must not have half-claimed the socket.
+		{"bind-free-port", kernel.SysBind, [6]uint64{sfd2, 8081}, 0},
+	})
+}
+
+// buildEINTRProbe builds a guest that binds and listens on port, installs
+// a handler for signal 10 with the given sa_flags, then issues a *raw*
+// accept (no libc retry loop, so an EINTR abort stays visible in RAX)
+// through either a SYSCALL or a SYSENTER encoding. The entry instruction
+// is at exported symbol "accept_site"; the accept outcome lands in the
+// exported "result" word; the exit code is the handler run count, +10
+// when accept eventually succeeded.
+func buildEINTRProbeEntry(path string, port, flags uint32, sysenter bool) *image.Image {
+	b := asm.NewBuilder(path)
+	b.Needed(libc.Path)
+	d := b.Data()
+	d.Label("handled").U64(0)
+	d.Label("result").U64(0)
+	tx := b.Text()
+
+	tx.Label(".handler")
+	tx.MovImmSym(cpu.R11, "handled")
+	tx.Load(cpu.RCX, cpu.R11, 0)
+	tx.AddImm(cpu.RCX, 1)
+	tx.Store(cpu.R11, 0, cpu.RCX)
+	tx.MovImm32(cpu.RAX, kernel.SysRtSigreturn)
+	tx.Syscall()
+
+	tx.Label("_start")
+	tx.CallSym("socket")
+	tx.Mov(cpu.RBX, cpu.RAX)
+	tx.Mov(cpu.RDI, cpu.RAX)
+	tx.MovImm32(cpu.RSI, port)
+	tx.CallSym("bind")
+	tx.Mov(cpu.RDI, cpu.RBX)
+	tx.MovImm32(cpu.RSI, 1)
+	tx.CallSym("listen")
+	tx.MovImm32(cpu.RDI, 10)
+	tx.MovImmSym(cpu.RSI, ".handler")
+	tx.MovImm32(cpu.RDX, flags)
+	tx.CallSym("sigaction")
+	// Raw accept: at block time RAX still holds the number, so a
+	// SA_RESTART rewind re-executes this exact entry instruction.
+	tx.Mov(cpu.RDI, cpu.RBX)
+	tx.MovImm32(cpu.RAX, kernel.SysAccept)
+	tx.Label("accept_site")
+	if sysenter {
+		tx.Sysenter()
+	} else {
+		tx.Syscall()
+	}
+	tx.MovImmSym(cpu.R11, "result")
+	tx.Store(cpu.R11, 0, cpu.RAX)
+	// exit code = handled (+10 if accept returned a descriptor)
+	tx.MovImmSym(cpu.R11, "handled")
+	tx.Load(cpu.RDI, cpu.R11, 0)
+	tx.CmpImm(cpu.RAX, 0)
+	tx.Jl(".exit")
+	tx.AddImm(cpu.RDI, 10)
+	tx.Label(".exit")
+	tx.CallSym("exit_group")
+	return b.MustBuild()
+}
+
+// TestConformanceEINTRRestart pins both sides of the Linux
+// signal-at-blocked-syscall contract: a handler installed without
+// SA_RESTART aborts a blocked accept with EINTR in RAX; with SA_RESTART
+// the accept silently re-executes and completes on the next connection.
+func TestConformanceEINTRRestart(t *testing.T) {
+	const port = 9191
+
+	t.Run("eintr", func(t *testing.T) {
+		k, l, reg := newWorld(t)
+		reg.MustAdd(buildEINTRProbeEntry("/bin/eintr", port, 0, false))
+		p, err := l.Spawn("/bin/eintr", []string{"eintr"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Run(1_000_000)
+		mt := p.MainThread()
+		if mt.State != kernel.ThreadBlocked {
+			t.Fatalf("thread state = %v, want blocked in accept", mt.State)
+		}
+		k.PostSignal(p, 10)
+		if mt.WakePending() {
+			t.Fatal("EINTR abort leaked the wake closure")
+		}
+		if mt.State != kernel.ThreadRunnable {
+			t.Fatalf("thread state after signal = %v, want runnable", mt.State)
+		}
+		k.Run(1_000_000)
+		if p.State != kernel.ProcZombie {
+			t.Fatalf("process did not exit: state %v", p.State)
+		}
+		// Handler ran once and accept was NOT retried: exit code 1.
+		if p.Exit.Code != 1 {
+			t.Fatalf("exit = %+v, want code 1 (one handler run, accept aborted)", p.Exit)
+		}
+		resAddr, ok := l.GlobalSymbol(p, "result")
+		if !ok {
+			t.Fatal("no result symbol")
+		}
+		res, err := p.AS.KLoadU64(resAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantErrno(t, "raw accept after signal", res, kernel.EINTR)
+	})
+
+	t.Run("sa-restart", func(t *testing.T) {
+		k, l, reg := newWorld(t)
+		reg.MustAdd(buildEINTRProbeEntry("/bin/restart", port, kernel.SARestart, false))
+		p, err := l.Spawn("/bin/restart", []string{"restart"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Run(1_000_000)
+		mt := p.MainThread()
+		if mt.State != kernel.ThreadBlocked {
+			t.Fatalf("thread state = %v, want blocked in accept", mt.State)
+		}
+		k.PostSignal(p, 10)
+		if mt.WakePending() {
+			t.Fatal("restart interruption leaked the wake closure")
+		}
+		// Handler runs, sigreturn re-executes the accept, which blocks
+		// again — EINTR never surfaces.
+		k.Run(1_000_000)
+		if mt.State != kernel.ThreadBlocked {
+			t.Fatalf("thread state after restart = %v, want blocked again", mt.State)
+		}
+		if err := k.InjectConn(port, []byte("x"), 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		k.Run(1_000_000)
+		if p.State != kernel.ProcZombie {
+			t.Fatalf("process did not exit: state %v", p.State)
+		}
+		// Handler ran once and the restarted accept succeeded: 1 + 10.
+		if p.Exit.Code != 11 {
+			t.Fatalf("exit = %+v, want code 11 (one handler run, accept restarted)", p.Exit)
+		}
+		resAddr, ok := l.GlobalSymbol(p, "result")
+		if !ok {
+			t.Fatal("no result symbol")
+		}
+		res, err := p.AS.KLoadU64(resAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOK(t, "restarted accept", res)
+	})
+}
+
 // TestConformanceWaitAndSignal covers the wait4/kill interplay the fleet
 // and PoC harnesses depend on: a SIGKILL'd child becomes reapable, the
 // reported status carries the signal number, and a wait with no
-// reapable children blocks with restart semantics (never EINTR — the
-// simulator models SA_RESTART for all blocking syscalls).
+// reapable children blocks until one appears. Whether a *signal* aborts
+// such a blocked call with EINTR or restarts it is the handler's
+// SA_RESTART choice — TestConformanceEINTRRestart pins both sides.
 func TestConformanceWaitAndSignal(t *testing.T) {
 	k, p, mt, scratch := confWorld(t)
 

@@ -120,6 +120,19 @@ type Thread struct {
 	sigFrames []sigFrame
 	wake      func() bool // when State == ThreadBlocked
 
+	// entryLen/entrySite describe the in-flight trap while a syscall is
+	// being serviced: entryLen is the byte length of the entry instruction
+	// (SYSCALL, SYSENTER, or a rewritten call that re-trapped) and
+	// entrySite its address. Both are zero outside handleSyscall and for
+	// DirectSyscall, which has no guest-visible entry instruction.
+	entryLen  uint64
+	entrySite uint64
+	// blockedLen snapshots entryLen at blockThread time, so signal
+	// delivery can tell a restartable guest trap (len != 0: RIP was
+	// rewound over the entry instruction) from a host-initiated block
+	// (DirectSyscall: nothing to rewind, nothing to abort).
+	blockedLen uint64
+
 	// ExtraCycles counts kernel-charged cycles (traps, signals, ptrace
 	// stops) attributed to this thread, on top of Core.Cycles.
 	ExtraCycles uint64
@@ -182,7 +195,7 @@ type Process struct {
 	// instructions. K23's ptracer sets it (paper §5.2).
 	VDSODisabled bool
 
-	sigHandlers map[int]uint64 // signal -> handler address
+	sigHandlers map[int]sigAction // signal -> handler + sa_flags
 
 	tracer        Tracer
 	traceExecve   bool
@@ -311,6 +324,7 @@ const (
 	EvSudSigsys               // SUD blocked a syscall and raised SIGSYS
 	EvSeccompSigsys           // a seccomp filter raised SIGSYS
 	EvInterposed              // an interposer handled a call (Detail = mechanism)
+	EvChaos                   // the chaos injector perturbed a syscall (Detail = what)
 )
 
 // String returns the historical text label of the kind.
@@ -334,6 +348,8 @@ func (k EventKind) String() string {
 		return "seccomp-sigsys"
 	case EvInterposed:
 		return "interposed"
+	case EvChaos:
+		return "chaos"
 	default:
 		return "unknown"
 	}
@@ -342,7 +358,7 @@ func (k EventKind) String() string {
 // EventKindByName is the inverse of EventKind.String, for parsers
 // (JSONL schema validation).
 func EventKindByName(s string) (EventKind, bool) {
-	for k := EvEnter; k <= EvInterposed; k++ {
+	for k := EvEnter; k <= EvChaos; k++ {
 		if k.String() == s {
 			return k, true
 		}
@@ -411,6 +427,9 @@ type Kernel struct {
 	net   *netStack
 	vvars []vvarReg
 
+	// chaos, when non-nil, is the seeded fault injector (WithChaos).
+	chaos *chaosState
+
 	// VClock is a monotone virtual clock advanced as threads execute;
 	// it backs the vvar page and gettimeofday.
 	VClock uint64
@@ -468,7 +487,7 @@ func (k *Kernel) NewProcess(path string, argv, env []string) *Process {
 		AS:          mem.NewAddressSpace(),
 		fds:         make(map[int]*fd),
 		nextFD:      3,
-		sigHandlers: make(map[int]uint64),
+		sigHandlers: make(map[int]sigAction),
 		Hostcalls:   make(map[int32]*Hostcall),
 		nextTID:     1,
 	}
@@ -549,7 +568,7 @@ func (k *Kernel) DetachTracer(p *Process) {
 func (k *Kernel) Tracer(p *Process) Tracer { return p.tracer }
 
 // ResetSignalHandlers drops all installed handlers (execve semantics).
-func (p *Process) ResetSignalHandlers() { p.sigHandlers = make(map[int]uint64) }
+func (p *Process) ResetSignalHandlers() { p.sigHandlers = make(map[int]sigAction) }
 
 // ClearSUD disables Syscall User Dispatch on the thread and drops any
 // pending signal frames (execve semantics).
@@ -613,7 +632,14 @@ func (k *Kernel) DirectSyscall(t *Thread, nr uint64, args [6]uint64) uint64 {
 	if t.Proc.sudEverArmed {
 		t.charge(k.Cost.SUDSlowPath)
 	}
+	// A direct call has no guest entry instruction: clear the in-flight
+	// trap record so chaos injection and EINTR abort logic stay off, and
+	// restore it afterwards (tracer hooks issue DirectSyscalls from
+	// inside handleSyscall).
+	savedLen, savedSite := t.entryLen, t.entrySite
+	t.entryLen, t.entrySite = 0, 0
 	ret, _ := k.executeSyscall(t, nr, args, 0)
+	t.entryLen, t.entrySite = savedLen, savedSite
 	return ret
 }
 

@@ -111,7 +111,7 @@ func (k *Kernel) sysBind(t *Thread, n, port int) uint64 {
 		return errno(EBADF)
 	}
 	if _, used := k.net.listeners[port]; used {
-		return errno(EEXIST)
+		return errno(EADDRINUSE)
 	}
 	f.listener = &listener{port: port}
 	return 0
@@ -119,24 +119,34 @@ func (k *Kernel) sysBind(t *Thread, n, port int) uint64 {
 
 func (k *Kernel) sysListen(t *Thread, n, backlog int) uint64 {
 	f, ok := t.Proc.fds[n]
-	if !ok || f.listener == nil {
+	if !ok {
 		return errno(EBADF)
+	}
+	if f.listener == nil {
+		// A socket fd that was never bound: no address to listen on.
+		return errno(EINVAL)
 	}
 	f.kind = fdListener
 	k.net.listeners[f.listener.port] = f.listener
 	return 0
 }
 
-// sysAccept returns a connection fd, blocking (with syscall restart) when
-// the backlog is empty.
+// sysAccept returns a connection fd, blocking when the backlog is empty
+// (restart vs EINTR on interruption per the handler's SA_RESTART flag).
 func (k *Kernel) sysAccept(t *Thread, n int) (ret uint64, blocked bool) {
 	p := t.Proc
 	f, ok := p.fds[n]
-	if !ok || f.kind != fdListener {
+	if !ok {
 		return errno(EBADF), false
+	}
+	if f.kind != fdListener {
+		return errno(EINVAL), false
 	}
 	l := f.listener
 	if !l.pending() {
+		if k.chaosBlockEINTR(t, SysAccept) {
+			return errno(EINTR), false
+		}
 		k.blockThread(t, l.pending)
 		return 0, true
 	}
@@ -154,6 +164,9 @@ func (k *Kernel) connRead(t *Thread, f *fd, buf, count uint64) (ret uint64, bloc
 		return errno(EBADF), false
 	}
 	if !c.readable() {
+		if k.chaosBlockEINTR(t, SysRead) {
+			return errno(EINTR), false
+		}
 		k.blockThread(t, c.readable)
 		return 0, true
 	}
@@ -165,6 +178,7 @@ func (k *Kernel) connRead(t *Thread, f *fd, buf, count uint64) (ret uint64, bloc
 	if uint64(len(chunk)) > count {
 		chunk = chunk[:count]
 	}
+	chunk = k.chaosShortRead(t, chunk)
 	if !k.copyOut(t, buf, chunk) {
 		return errno(EFAULT), false
 	}

@@ -38,6 +38,17 @@ const (
 	SiCodeSeccomp      = 1
 )
 
+// SARestart is the sa_flags bit requesting automatic restart of
+// interrupted syscalls (Linux SA_RESTART).
+const SARestart = 0x10000000
+
+// sigAction is one installed signal disposition: handler entry point plus
+// the sa_flags word rt_sigaction registered with it.
+type sigAction struct {
+	handler uint64
+	flags   uint64
+}
+
 // sigInfo is the host-side form of the siginfo block.
 type sigInfo struct {
 	signo     int
@@ -67,11 +78,12 @@ func (k *Kernel) deliverFaultSignal(t *Thread, sig int, stop cpu.Stop) {
 // is installed (default disposition for the signals we model).
 func (k *Kernel) deliverSignal(t *Thread, sig int, info sigInfo) {
 	p := t.Proc
-	handler, ok := p.sigHandlers[sig]
+	act, ok := p.sigHandlers[sig]
 	if !ok {
 		k.killProcess(p, sig, fmt.Sprintf("unhandled signal %d", sig))
 		return
 	}
+	handler := act.handler
 	t.charge(k.Cost.SignalDeliver)
 	t.Core.FlushICache() // signal delivery is a kernel entry: serializing
 
@@ -150,10 +162,85 @@ func (k *Kernel) sysSigreturn(t *Thread) {
 }
 
 // blockThread parks t until wake() returns true and arranges for the
-// in-flight system call to restart: RIP is rewound to the SYSCALL
-// instruction (RAX still holds the number at block time).
+// in-flight system call to restart: RIP is rewound over the entry
+// instruction that trapped (RAX still holds the number at block time).
+// The rewind distance is the recorded entry length, not a hard-coded
+// SYSCALL width: SYSENTER and rewritten call sites re-enter through
+// their own encodings. Host-initiated blocks (DirectSyscall) have
+// entryLen == 0 and leave RIP alone — there is no instruction to rerun.
 func (k *Kernel) blockThread(t *Thread, wake func() bool) {
 	t.State = ThreadBlocked
 	t.wake = wake
-	t.Core.Ctx.RIP -= uint64(cpu.SyscallInstLen)
+	t.blockedLen = t.entryLen
+	t.Core.Ctx.RIP -= t.entryLen
+}
+
+// interruptBlockedSyscall applies the Linux signal-at-blocked-syscall
+// rules to t before a handler is pushed: with SA_RESTART the rewound RIP
+// is kept, so sigreturn re-executes the entry instruction and the call
+// restarts; without it the call is aborted — RIP moves past the entry
+// instruction and RAX carries -EINTR, which the handler frame captures
+// and sigreturn hands back to the application. Either way the thread
+// leaves the blocked state and its wake closure is dropped (never
+// leaked into the next block).
+func (k *Kernel) interruptBlockedSyscall(t *Thread, flags uint64) {
+	t.State = ThreadRunnable
+	t.wake = nil
+	if flags&SARestart == 0 && t.blockedLen != 0 {
+		t.Core.Ctx.RIP += t.blockedLen
+		t.Core.Ctx.R[cpu.RAX] = errno(EINTR)
+	}
+	t.blockedLen = 0
+}
+
+// signalProcess delivers sig to target on behalf of caller (nil for
+// host-originated signals): the kill(2) service routine. Returns the
+// kill return value plus noReturn=true when the caller's own context was
+// replaced (self-directed signal: the handler frame must see RAX=0, the
+// success return of kill, not the raw syscall number).
+func (k *Kernel) signalProcess(caller *Thread, target *Process, sig int) (uint64, bool) {
+	if sig == 0 {
+		return 0, false // existence probe
+	}
+	if target.State != ProcRunning {
+		return 0, false
+	}
+	act, handled := target.sigHandlers[sig]
+	if sig == SIGKILL || !handled {
+		k.killProcess(target, sig, "killed")
+		if caller != nil && caller.Proc == target {
+			return 0, true
+		}
+		return 0, false
+	}
+	dt := target.MainThread()
+	if dt == nil {
+		return errno(ENOENT), false
+	}
+	if dt.State == ThreadBlocked {
+		k.interruptBlockedSyscall(dt, act.flags)
+	}
+	if caller == dt {
+		// Self-directed: the handler frame snapshots the context mid-kill,
+		// so plant kill's own return value before building it.
+		dt.Core.Ctx.R[cpu.RAX] = 0
+		k.deliverSignal(dt, sig, sigInfo{signo: sig})
+		return 0, true
+	}
+	k.deliverSignal(dt, sig, sigInfo{signo: sig})
+	return 0, false
+}
+
+// WakePending reports whether t still holds a block-wake predicate.
+// Tests use it to assert that interrupting a blocked syscall (restart or
+// EINTR abort alike) drops the wake closure rather than leaking it into
+// the thread's next block.
+func (t *Thread) WakePending() bool { return t.wake != nil }
+
+// PostSignal sends sig to p from host context (no calling thread) —
+// the chaos injector's and tests' signal source. Delivery follows the
+// same rules as kill(2): SA_RESTART decides whether a blocked syscall
+// restarts or aborts with EINTR.
+func (k *Kernel) PostSignal(p *Process, sig int) {
+	k.signalProcess(nil, p, sig)
 }

@@ -72,19 +72,21 @@ const (
 
 // Errno values (returned negated, per the Linux ABI).
 const (
-	EPERM   = 1
-	ENOENT  = 2
-	EINTR   = 4
-	EBADF   = 9
-	EAGAIN  = 11
-	ENOMEM  = 12
-	EACCES  = 13
-	EFAULT  = 14
-	EEXIST  = 17
-	ENOTDIR = 20
-	EISDIR  = 21
-	EINVAL  = 22
-	ENOSYS  = 38
+	EPERM      = 1
+	ENOENT     = 2
+	EINTR      = 4
+	EBADF      = 9
+	EAGAIN     = 11
+	ENOMEM     = 12
+	EACCES     = 13
+	EFAULT     = 14
+	EEXIST     = 17
+	ENOTDIR    = 20
+	EISDIR     = 21
+	EINVAL     = 22
+	EMFILE     = 24
+	ENOSYS     = 38
+	EADDRINUSE = 98
 )
 
 // errno encodes -e as a uint64 return value.
@@ -182,6 +184,13 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 	ctx := &t.Core.Ctx
 	nr := ctx.R[cpu.RAX]
 
+	// Record the in-flight entry instruction: RIP already points past it,
+	// so its length is the distance back to the trap site. blockThread
+	// rewinds by exactly this much, whatever the entry encoding (SYSCALL,
+	// SYSENTER, a trampoline's re-issued SYSCALL).
+	t.entryLen = ctx.RIP - site
+	t.entrySite = site
+
 	// costBase snapshots the thread's cycle account so the exit event can
 	// report the call's full charged cost (trap, kernel work, SUD slow
 	// path, ptrace stops, signal frames). Only computed when observed.
@@ -276,6 +285,16 @@ func (k *Kernel) executeSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) 
 	p := t.Proc
 	t.charge(k.Cost.KernelWork)
 
+	// Chaos: transient failure at syscall entry. Only guest traps are
+	// eligible (entryLen != 0) — DirectSyscall-driven host logic and
+	// conformance probes see the unperturbed kernel.
+	if k.chaos != nil && t.entryLen != 0 {
+		if e := k.chaos.transientErrno(nr); e != 0 {
+			k.emitChaos(t, nr, func() string { return "transient " + chaosErrnoName(e) })
+			return errno(e), false
+		}
+	}
+
 	switch nr {
 	case SysRead:
 		return k.sysRead(t, int(a[0]), a[1], a[2])
@@ -303,7 +322,7 @@ func (k *Kernel) executeSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) 
 	case SysBrk:
 		return 0, false
 	case SysRtSigaction:
-		return k.sysSigaction(t, int(a[0]), a[1]), false
+		return k.sysSigaction(t, int(a[0]), a[1], a[2]), false
 	case SysRtSigprocmask:
 		return 0, false
 	case SysRtSigreturn:
@@ -407,8 +426,7 @@ func (k *Kernel) executeSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) 
 		return k.sysWait4(t, int(int64(a[0])), a[1])
 	case SysKill:
 		if target, ok := k.procs[int(a[0])]; ok {
-			k.killProcess(target, int(a[1]), "killed")
-			return 0, false
+			return k.signalProcess(t, target, int(a[1]))
 		}
 		return errno(ENOENT), false
 	case SysPtrace:
@@ -539,6 +557,7 @@ func (k *Kernel) sysRead(t *Thread, n int, buf, count uint64) (ret uint64, block
 		if uint64(len(chunk)) > count {
 			chunk = chunk[:count]
 		}
+		chunk = k.chaosShortRead(t, chunk)
 		if !k.copyOut(t, buf, chunk) {
 			return errno(EFAULT), false
 		}
@@ -557,13 +576,16 @@ func (k *Kernel) sysWrite(t *Thread, n int, buf, count uint64) uint64 {
 	if err != nil {
 		return errno(EFAULT)
 	}
+	// Chaos: a short write consumes a prefix; the caller's retry loop
+	// (libc write) must issue the remainder.
+	data = k.chaosShortWrite(t, data)
 	switch n {
 	case 1:
 		p.Stdout = append(p.Stdout, data...)
-		return count
+		return uint64(len(data))
 	case 2:
 		p.Stderr = append(p.Stderr, data...)
-		return count
+		return uint64(len(data))
 	}
 	f, ok := p.fds[n]
 	if !ok {
@@ -576,7 +598,7 @@ func (k *Kernel) sysWrite(t *Thread, n int, buf, count uint64) uint64 {
 		if err := k.FS.Append(f.path, data); err != nil {
 			return errno(EPERM)
 		}
-		return count
+		return uint64(len(data))
 	case fdConn:
 		return k.connWrite(t, f, data)
 	default:
@@ -672,14 +694,14 @@ func (k *Kernel) sysMprotect(t *Thread, addr, length, prot uint64) uint64 {
 	return 0
 }
 
-func (k *Kernel) sysSigaction(t *Thread, sig int, handler uint64) uint64 {
+func (k *Kernel) sysSigaction(t *Thread, sig int, handler, flags uint64) uint64 {
 	if sig <= 0 || sig > 64 {
 		return errno(EINVAL)
 	}
 	if handler == 0 {
 		delete(t.Proc.sigHandlers, sig)
 	} else {
-		t.Proc.sigHandlers[sig] = handler
+		t.Proc.sigHandlers[sig] = sigAction{handler: handler, flags: flags}
 	}
 	return 0
 }
@@ -780,7 +802,7 @@ func (k *Kernel) sysFork(t *Thread) uint64 {
 		AS:           parent.AS.Clone(),
 		fds:          make(map[int]*fd),
 		nextFD:       parent.nextFD,
-		sigHandlers:  make(map[int]uint64),
+		sigHandlers:  make(map[int]sigAction),
 		Hostcalls:    parent.Hostcalls, // code identical post-fork
 		sudEverArmed: parent.sudEverArmed,
 		VDSODisabled: parent.VDSODisabled,
@@ -894,7 +916,12 @@ func (k *Kernel) sysWait4(t *Thread, pid int, statusAddr uint64) (ret uint64, bl
 	}
 	c := find()
 	if c == nil {
-		// Block (with syscall restart) until a matching child exits.
+		if k.chaosBlockEINTR(t, SysWait4) {
+			return errno(EINTR), false
+		}
+		// Block until a matching child exits; whether the call restarts
+		// or aborts with EINTR on a signal depends on the handler's
+		// SA_RESTART flag (interruptBlockedSyscall).
 		k.blockThread(t, func() bool { return find() != nil })
 		return 0, true
 	}

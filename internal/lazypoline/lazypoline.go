@@ -209,7 +209,19 @@ func (l *Lazypoline) initHost(h any, base uint64) error {
 		var a [6]uint64
 		a[0] = nr
 		copy(a[1:], args)
-		return k.CallGuest(t, gate, a)
+		// Bounded transient retry: under chaos injection the gate's
+		// syscalls can fail with EINTR/EAGAIN/ENOMEM/EMFILE; robust
+		// init code re-issues them like the libc wrappers do.
+		for tries := 0; ; tries++ {
+			ret, err := k.CallGuest(t, gate, a)
+			if err != nil {
+				return ret, err
+			}
+			if e, bad := kernel.IsErr(ret); bad && kernel.IsTransient(e) && tries < 64 {
+				continue
+			}
+			return ret, nil
+		}
 	}
 
 	// Trampoline at 0 with PKU-XOM (same construction as zpoline, and

@@ -43,12 +43,23 @@ func Image() *image.Image {
 }
 
 // wrapper emits "name: mov rax, nr; syscall; ret" — one unique syscall
-// instruction site per wrapper, as in glibc.
-func wrapper(t *asm.SectionBuilder, name string, nr uint32) {
+// instruction site per wrapper, as in glibc. When retriable errnos are
+// given, the wrapper is an honest glibc-style stub: it compares the
+// return value against each and loops back to re-issue the call
+// (TEMP_FAILURE_RETRY). The loop re-enters at the mov so RAX is reloaded
+// with the number — which also keeps the wrapper correct after a
+// zpoline-style rewrite, where RAX doubles as the trampoline address.
+// The kernel preserves the argument registers across a syscall, so no
+// further state needs saving.
+func wrapper(t *asm.SectionBuilder, name string, nr uint32, retriable ...int) {
 	t.Label(name)
 	t.MovImm32(cpu.RAX, nr)
 	t.Label("." + name + "_syscall_site")
 	t.Syscall()
+	for _, e := range retriable {
+		t.CmpImm(cpu.RAX, int32(-e))
+		t.Jz(name)
+	}
 	t.Ret()
 }
 
@@ -57,61 +68,99 @@ func build() *image.Image {
 	t := b.Text()
 
 	// --- plain syscall wrappers ---
+	// Wrappers for calls that fail transiently on Linux carry honest
+	// retry loops: EINTR (a signal interrupted the call and the handler
+	// was installed without SA_RESTART), EAGAIN (wakeup raced the data),
+	// EMFILE/ENOMEM (transient descriptor/memory pressure). The chaos
+	// injector exercises every one of these paths.
 	wrappers := []struct {
-		name string
-		nr   uint32
+		name  string
+		nr    uint32
+		retry []int
 	}{
-		{"read", kernel.SysRead},
-		{"write", kernel.SysWrite},
-		{"open", kernel.SysOpen},
-		{"openat", kernel.SysOpenat},
-		{"close", kernel.SysClose},
-		{"stat", kernel.SysStat},
-		{"fstat", kernel.SysFstat},
-		{"mmap", kernel.SysMmap},
-		{"mprotect", kernel.SysMprotect},
-		{"munmap", kernel.SysMunmap},
-		{"sigaction", kernel.SysRtSigaction},
-		{"sigreturn", kernel.SysRtSigreturn},
-		{"ioctl", kernel.SysIoctl},
-		{"access", kernel.SysAccess},
-		{"sched_yield", kernel.SysSchedYield},
-		{"madvise", kernel.SysMadvise},
-		{"nanosleep", kernel.SysNanosleep},
-		{"getpid", kernel.SysGetpid},
-		{"socket", kernel.SysSocket},
-		{"accept", kernel.SysAccept},
-		{"bind", kernel.SysBind},
-		{"listen", kernel.SysListen},
-		{"clone", kernel.SysClone},
-		{"fork", kernel.SysFork},
-		{"execve", kernel.SysExecve},
-		{"exit", kernel.SysExit},
-		{"exit_group", kernel.SysExitGroup},
-		{"wait4", kernel.SysWait4},
-		{"kill", kernel.SysKill},
-		{"uname", kernel.SysUname},
-		{"fcntl", kernel.SysFcntl},
-		{"getcwd", kernel.SysGetcwd},
-		{"chdir", kernel.SysChdir},
-		{"mkdir", kernel.SysMkdir},
-		{"unlink", kernel.SysUnlink},
-		{"chmod", kernel.SysChmod},
-		{"getuid", kernel.SysGetuid},
-		{"prctl", kernel.SysPrctl},
-		{"gettid", kernel.SysGettid},
-		{"futex", kernel.SysFutex},
-		{"epoll_wait", kernel.SysEpollWait},
-		{"epoll_ctl", kernel.SysEpollCtl},
-		{"epoll_create1", kernel.SysEpollCreate1},
-		{"getrandom", kernel.SysGetrandom},
-		{"pkey_mprotect", kernel.SysPkeyMprotect},
-		{"pkey_alloc", kernel.SysPkeyAlloc},
-		{"pkey_free", kernel.SysPkeyFree},
+		{"read", kernel.SysRead, []int{kernel.EINTR, kernel.EAGAIN}},
+		{"open", kernel.SysOpen, []int{kernel.EINTR, kernel.EMFILE}},
+		{"openat", kernel.SysOpenat, []int{kernel.EINTR, kernel.EMFILE}},
+		{"close", kernel.SysClose, nil},
+		{"stat", kernel.SysStat, nil},
+		{"fstat", kernel.SysFstat, nil},
+		{"mmap", kernel.SysMmap, []int{kernel.EINTR, kernel.ENOMEM}},
+		{"mprotect", kernel.SysMprotect, nil},
+		{"munmap", kernel.SysMunmap, nil},
+		{"sigaction", kernel.SysRtSigaction, nil},
+		{"sigreturn", kernel.SysRtSigreturn, nil},
+		{"ioctl", kernel.SysIoctl, nil},
+		{"access", kernel.SysAccess, nil},
+		{"sched_yield", kernel.SysSchedYield, nil},
+		{"madvise", kernel.SysMadvise, nil},
+		{"nanosleep", kernel.SysNanosleep, nil},
+		{"getpid", kernel.SysGetpid, nil},
+		{"socket", kernel.SysSocket, []int{kernel.EINTR, kernel.EMFILE}},
+		{"accept", kernel.SysAccept, []int{kernel.EINTR, kernel.EAGAIN, kernel.EMFILE}},
+		{"bind", kernel.SysBind, nil},
+		{"listen", kernel.SysListen, nil},
+		{"clone", kernel.SysClone, nil},
+		{"fork", kernel.SysFork, nil},
+		{"execve", kernel.SysExecve, nil},
+		{"exit", kernel.SysExit, nil},
+		{"exit_group", kernel.SysExitGroup, nil},
+		{"wait4", kernel.SysWait4, []int{kernel.EINTR}},
+		{"kill", kernel.SysKill, nil},
+		{"uname", kernel.SysUname, nil},
+		{"fcntl", kernel.SysFcntl, nil},
+		{"getcwd", kernel.SysGetcwd, nil},
+		{"chdir", kernel.SysChdir, nil},
+		{"mkdir", kernel.SysMkdir, nil},
+		{"unlink", kernel.SysUnlink, nil},
+		{"chmod", kernel.SysChmod, nil},
+		{"getuid", kernel.SysGetuid, nil},
+		{"prctl", kernel.SysPrctl, nil},
+		{"gettid", kernel.SysGettid, nil},
+		{"futex", kernel.SysFutex, nil},
+		{"epoll_wait", kernel.SysEpollWait, nil},
+		{"epoll_ctl", kernel.SysEpollCtl, nil},
+		{"epoll_create1", kernel.SysEpollCreate1, nil},
+		{"getrandom", kernel.SysGetrandom, nil},
+		{"pkey_mprotect", kernel.SysPkeyMprotect, nil},
+		{"pkey_alloc", kernel.SysPkeyAlloc, nil},
+		{"pkey_free", kernel.SysPkeyFree, nil},
 	}
 	for _, w := range wrappers {
-		wrapper(t, w.name, w.nr)
+		wrapper(t, w.name, w.nr, w.retry...)
 	}
+
+	// write(fd, buf, n): glibc-style full-delivery loop. A short write —
+	// the kernel consumed only a prefix — advances the buffer and
+	// re-issues the call for the remainder; EINTR/EAGAIN retry in place.
+	// Returns the total byte count (callers that wrote n expect n back),
+	// or the first hard errno. RBX accumulates the total across
+	// re-issues (callee-saved, as in the libc_init idiom).
+	t.Label("write")
+	t.Push(cpu.RBX)
+	t.Push(cpu.RSI)
+	t.Push(cpu.RDX)
+	t.Xor(cpu.RBX, cpu.RBX)
+	t.Label(".write_retry")
+	t.MovImm32(cpu.RAX, kernel.SysWrite)
+	t.Label(".write_syscall_site")
+	t.Syscall()
+	t.CmpImm(cpu.RAX, int32(-kernel.EINTR))
+	t.Jz(".write_retry")
+	t.CmpImm(cpu.RAX, int32(-kernel.EAGAIN))
+	t.Jz(".write_retry")
+	t.CmpImm(cpu.RAX, 0)
+	t.Jl(".write_err") // hard errno: surface it
+	t.Add(cpu.RBX, cpu.RAX)
+	t.Add(cpu.RSI, cpu.RAX)
+	t.Sub(cpu.RDX, cpu.RAX)
+	t.Test(cpu.RDX, cpu.RDX)
+	t.Jnz(".write_retry")
+	t.Mov(cpu.RAX, cpu.RBX)
+	t.Label(".write_err")
+	t.Pop(cpu.RDX)
+	t.Pop(cpu.RSI)
+	t.Pop(cpu.RBX)
+	t.Ret()
 
 	// syscall(nr, a0..a4): the generic syscall() entry point.
 	t.Label("syscall")

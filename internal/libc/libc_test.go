@@ -26,7 +26,10 @@ func TestImageIsMemoizedAndValid(t *testing.T) {
 func TestEveryWrapperHasOneSite(t *testing.T) {
 	im := libc.Image()
 	// Each wrapper label must have a matching ".<name>_syscall_site"
-	// ground-truth site exactly two MOVIMM32-lengths after it.
+	// ground-truth site exactly one MOVIMM32 after it — except write,
+	// whose full-delivery loop carries a register-save prologue before
+	// the first mov. Retry loops notwithstanding, every wrapper still
+	// contains exactly one SYSCALL instruction site.
 	for _, name := range []string{"read", "write", "getpid", "prctl", "clone", "execve"} {
 		w, ok := im.SymbolOff(name)
 		if !ok {
@@ -36,17 +39,21 @@ func TestEveryWrapperHasOneSite(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing site label for %s", name)
 		}
-		if site != w+6 {
+		if name == "write" {
+			if site <= w {
+				t.Fatalf("write site at +%d, want after the prologue", site-w)
+			}
+		} else if site != w+6 {
 			t.Fatalf("%s site at +%d, want +6 (after the mov)", name, site-w)
 		}
-		found := false
+		count := 0
 		for _, ts := range im.TrueSites {
 			if ts == site {
-				found = true
+				count++
 			}
 		}
-		if !found {
-			t.Fatalf("%s site not in ground truth", name)
+		if count != 1 {
+			t.Fatalf("%s site in ground truth %d times, want once", name, count)
 		}
 	}
 }

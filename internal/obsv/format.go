@@ -95,6 +95,8 @@ func FormatRecord(r Record, enterArgs []uint64) string {
 		fmt.Fprintf(&b, "+++ %s +++", r.Detail)
 	case kernel.EvInterposed:
 		fmt.Fprintf(&b, "~~~ %s interposed %s {site=%#x} ~~~", r.Detail, SyscallName(r.Num), r.Site)
+	case kernel.EvChaos:
+		fmt.Fprintf(&b, "!!! chaos %s on %s {site=%#x} !!!", r.Detail, SyscallName(r.Num), r.Site)
 	default:
 		fmt.Fprintf(&b, "%s num=%d site=%#x %s", r.Kind, r.Num, r.Site, r.Detail)
 	}

@@ -96,7 +96,8 @@ var errnoNames = map[int]string{
 	kernel.EBADF: "EBADF", kernel.EAGAIN: "EAGAIN", kernel.ENOMEM: "ENOMEM",
 	kernel.EACCES: "EACCES", kernel.EFAULT: "EFAULT", kernel.EEXIST: "EEXIST",
 	kernel.ENOTDIR: "ENOTDIR", kernel.EISDIR: "EISDIR", kernel.EINVAL: "EINVAL",
-	kernel.ENOSYS: "ENOSYS",
+	kernel.EMFILE: "EMFILE", kernel.ENOSYS: "ENOSYS",
+	kernel.EADDRINUSE: "EADDRINUSE",
 }
 
 // ErrnoName returns the symbolic name of errno e ("E42" if unknown).
