@@ -10,6 +10,7 @@
 //	benchtab -figure 1
 //	benchtab -claim startup
 //	benchtab -claim decodecache
+//	benchtab -claim coverage
 //	benchtab -fleet 16 -workers 8
 //	benchtab -fleet 16 -workers 1,2,4,8 -fleet-workload macro
 package main
@@ -77,7 +78,7 @@ func parseWorkers(s string) ([]int, error) {
 func main() {
 	table := flag.String("table", "", "regenerate a table: 2, 3, 5, 6, or all")
 	figure := flag.String("figure", "", "regenerate a figure's content: 1, 2, or 4")
-	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b, decodecache or obsoverhead")
+	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b, decodecache, obsoverhead or coverage")
 	fleetN := flag.Int("fleet", 0, "run a fleet of N simulated machines and report scaling")
 	workersSpec := flag.String("workers", "8", "worker counts for -fleet: a number or comma list (1,2,4,8)")
 	fleetWorkload := flag.String("fleet-workload", "micro", "fleet machine type: micro (syscall loop), macro (redis server), or apps (difftest mix)")
@@ -90,7 +91,7 @@ func main() {
 	flag.Parse()
 
 	if *table == "" && *figure == "" && *claim == "" && *fleetN == 0 && !*sidecar && *chaosSweep == 0 && *chaosRepro == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|obsoverhead | -fleet N -workers W | -metrics-sidecar | -chaos-sweep N | -chaos-repro SEED")
+		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|obsoverhead|coverage | -fleet N -workers W | -metrics-sidecar | -chaos-sweep N | -chaos-repro SEED")
 		os.Exit(2)
 	}
 
@@ -229,6 +230,15 @@ func main() {
 			}
 			pairs = append(pairs, [2]bench.DecodeCacheRun{macroOn, macroOff})
 			fmt.Print(bench.FormatDecodeCache(pairs))
+			return nil
+		})
+	case "coverage":
+		run("Claim — audited syscall coverage matrices (E17)", func() error {
+			s, err := bench.CoverageTable()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
 			return nil
 		})
 	case "obsoverhead":

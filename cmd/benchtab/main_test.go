@@ -130,3 +130,16 @@ func TestParseWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenCoverage pins the audited coverage matrices (E17): the
+// full per-syscall x per-mechanism counts, escapes by taxonomy
+// category, and TTFC for every coverage app under every coverage
+// variant. The join is deterministic, so any drift means interposition
+// behavior actually changed.
+func TestGoldenCoverage(t *testing.T) {
+	got, err := bench.CoverageTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "coverage.golden", got)
+}

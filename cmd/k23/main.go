@@ -6,7 +6,7 @@
 //
 //	k23 [-variant NAME] [-trace] [-stats] [-metrics FILE] [-prom FILE]
 //	    [-trace-json FILE] [-profile FILE] [-folded FILE]
-//	    [-profile-every N] PROG [ARGS...]
+//	    [-profile-every N] [-audit] [-audit-json FILE] PROG [ARGS...]
 //
 // PROG is one of the registered workloads (pwd, touch, ls, cat, clear,
 // nginx, lighttpd, redis-server, sqlite3) by basename or full path.
@@ -95,6 +95,8 @@ func main() {
 	foldedOut := flag.String("folded", "", "write folded stacks (flamegraph input) to FILE")
 	profileEvery := flag.Uint64("profile-every", 0,
 		"sample guest RIP every N virtual ticks (0 = default when -profile/-folded set)")
+	auditFlag := flag.Bool("audit", false, "join the kernel's ground-truth syscall stream against the interposer's claims and print the audit report (coverage, escapes, TTFC)")
+	auditJSON := flag.String("audit-json", "", "write the audit report as JSONL to FILE (validate with obsvcheck -audit)")
 	stats := flag.Bool("stats", false, "print interposition statistics")
 	chaosSeed := flag.Uint64("chaos", 0,
 		"arm deterministic fault injection with this seed (0 = off); perturbations appear in the trace as chaos events")
@@ -180,6 +182,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[offline] %d unique syscall sites logged to %s\n", n, logPath)
 	}
 
+	// The auditor attaches only now — after the offline phase, which is
+	// the controlled environment the audit deliberately excludes — so the
+	// report covers exactly the production run.
+	var auditObs *obsv.Observer
+	if *auditFlag || *auditJSON != "" {
+		auditObs = obsv.New(obsv.Options{Audit: true})
+		auditObs.Install(w.K)
+	}
+
 	l := spec.New(interpose.Config{}, logPath)
 	p, err := l.Launch(w, path, argv, nil)
 	if err != nil {
@@ -242,6 +253,19 @@ func main() {
 		if *foldedOut != "" {
 			writeFile(*foldedOut, "folded stacks", func(f *os.File) error {
 				return snap.Profile.WriteFolded(f)
+			})
+		}
+	}
+
+	if auditObs != nil {
+		audit := auditObs.Snapshot().Audit
+		if *auditFlag {
+			fmt.Fprintf(os.Stderr, "[audit] ground-truth coverage report for %s under %s:\n", args[0], l.Name())
+			audit.Format(os.Stderr)
+		}
+		if *auditJSON != "" {
+			writeFile(*auditJSON, "audit JSONL", func(f *os.File) error {
+				return audit.WriteJSONL(f)
 			})
 		}
 	}

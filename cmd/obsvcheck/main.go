@@ -5,22 +5,37 @@
 // the fleet smoke trace so a schema regression fails the build instead
 // of silently corrupting downstream tooling.
 //
+// With -audit it instead validates audit-report JSONL (as written by
+// `k23 -audit-json`): typed records, known escape categories, exactly
+// one summary whose escape total matches the escape records.
+//
 // Usage:
 //
-//	obsvcheck FILE...        validate each file
+//	obsvcheck FILE...        validate each trace file
+//	obsvcheck -audit FILE... validate each audit report
 //	obsvcheck -              validate stdin
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"k23/internal/audit"
 	"k23/internal/obsv"
 )
 
-func check(name string, r io.Reader) bool {
-	n, err := obsv.ValidateJSONL(r)
+func check(name string, r io.Reader, auditMode bool) bool {
+	var (
+		n   int
+		err error
+	)
+	if auditMode {
+		n, err = audit.ValidateJSONL(r)
+	} else {
+		n, err = obsv.ValidateJSONL(r)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "obsvcheck: %s: %v (after %d valid records)\n", name, err, n)
 		return false
@@ -30,15 +45,17 @@ func check(name string, r io.Reader) bool {
 }
 
 func main() {
-	args := os.Args[1:]
+	auditMode := flag.Bool("audit", false, "validate audit-report JSONL instead of flight-recorder traces")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: obsvcheck FILE... | obsvcheck -")
+		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit] FILE... | obsvcheck [-audit] -")
 		os.Exit(2)
 	}
 	ok := true
 	for _, a := range args {
 		if a == "-" {
-			ok = check("stdin", os.Stdin) && ok
+			ok = check("stdin", os.Stdin, *auditMode) && ok
 			continue
 		}
 		f, err := os.Open(a)
@@ -47,7 +64,7 @@ func main() {
 			ok = false
 			continue
 		}
-		ok = check(a, f) && ok
+		ok = check(a, f, *auditMode) && ok
 		f.Close()
 	}
 	if !ok {

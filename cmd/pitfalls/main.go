@@ -8,6 +8,8 @@
 //	pitfalls -poc P3b   # a single PoC with details
 //	pitfalls -explain   # each PoC with a flight-recorder excerpt
 //	                    # around the triggering event
+//	pitfalls -audit     # cross-check every verdict against the
+//	                    # shadow-map auditor's stream-derived verdict
 package main
 
 import (
@@ -74,6 +76,7 @@ func main() {
 	all := flag.Bool("all", false, "run every interposer variant, not just the Table 3 columns")
 	onePoc := flag.String("poc", "", "run a single PoC (P1a..P5) and print details")
 	explain := flag.Bool("explain", false, "print a flight-recorder excerpt around each PoC's triggering event")
+	auditFlag := flag.Bool("audit", false, "rerun the matrix with the shadow-map auditor attached and cross-check each verdict against the streams alone")
 	flag.Parse()
 
 	specs := variants.Table3Columns()
@@ -120,6 +123,33 @@ func main() {
 		if !found {
 			fmt.Fprintf(os.Stderr, "pitfalls: unknown PoC %q\n", *onePoc)
 			os.Exit(2)
+		}
+		return
+	}
+
+	if *auditFlag {
+		fmt.Println("System Call Interposition Pitfalls (paper Table 3) — audit parity")
+		fmt.Println("Each verdict is independently rederived by the shadow-map auditor")
+		fmt.Println("from the ground-truth vs attribution syscall streams alone.")
+		fmt.Println()
+		cells, err := pitfalls.AuditMatrix(specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pitfalls:", err)
+			os.Exit(1)
+		}
+		fmt.Print(pitfalls.FormatAuditMatrix(cells))
+		bad := 0
+		for i := range cells {
+			c := &cells[i]
+			if c.Agree() {
+				continue
+			}
+			bad++
+			fmt.Printf("\nMISMATCH %s / %s:\n  poc:   handled=%-5v %s\n  audit: handled=%-5v %s\n",
+				c.Pitfall, c.Interposer, c.Handled, c.Detail, c.AuditHandled, c.AuditDetail)
+		}
+		if bad > 0 {
+			os.Exit(1)
 		}
 		return
 	}

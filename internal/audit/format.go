@@ -1,0 +1,306 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// JSONL record types. Every line is a JSON object with a "type" field:
+//
+//	summary  — the Totals block (exactly one per report)
+//	coverage — one coverage-matrix cell
+//	escape   — one (category, syscall) escape cell
+//	ledger   — one proof-carrying escape with its trace excerpt
+//	proc     — one per-process join summary
+//	window   — one virtual-clock window tally
+//	guardmem — one guard-structure footprint
+const (
+	RecSummary  = "summary"
+	RecCoverage = "coverage"
+	RecEscape   = "escape"
+	RecLedger   = "ledger"
+	RecProc     = "proc"
+	RecWindow   = "window"
+	RecGuardMem = "guardmem"
+)
+
+// writeTagged marshals v and splices a leading "type" field in, keeping
+// one JSON object per line without an extra nesting level.
+func writeTagged(bw *bufio.Writer, typ string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`{"type":"` + typ + `",`); err != nil {
+		return err
+	}
+	if _, err := bw.Write(b[1:]); err != nil { // strip the inner '{'
+		return err
+	}
+	return bw.WriteByte('\n')
+}
+
+// WriteJSONL renders the snapshot as one JSON object per line: the
+// summary first, then coverage, escapes, ledger, procs, windows and
+// guard-mem records in their (sorted, deterministic) snapshot order.
+func (s *Snapshot) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeTagged(bw, RecSummary, &s.Totals); err != nil {
+		return err
+	}
+	for i := range s.Coverage {
+		if err := writeTagged(bw, RecCoverage, &s.Coverage[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Escapes {
+		if err := writeTagged(bw, RecEscape, &s.Escapes[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Ledger {
+		if err := writeTagged(bw, RecLedger, &s.Ledger[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Procs {
+		if err := writeTagged(bw, RecProc, &s.Procs[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Windows {
+		if err := writeTagged(bw, RecWindow, &s.Windows[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.GuardMem {
+		if err := writeTagged(bw, RecGuardMem, &s.GuardMem[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateJSONL checks an audit JSONL stream: every line is an object
+// with a known "type", required fields are present per type, exactly one
+// summary exists, and the summary's escape total matches the sum of the
+// escape records. Returns the number of valid lines.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lines, summaries := 0, 0
+	var summaryEscaped, escapeSum uint64
+	sawEscapeRecord := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return lines, fmt.Errorf("line %d: not a JSON object: %v", lines, err)
+		}
+		typ, err := stringField(raw, "type")
+		if err != nil {
+			return lines, fmt.Errorf("line %d: %v", lines, err)
+		}
+		switch typ {
+		case RecSummary:
+			summaries++
+			var t struct {
+				Totals
+			}
+			if err := json.Unmarshal(line, &t); err != nil {
+				return lines, fmt.Errorf("line %d: bad summary: %v", lines, err)
+			}
+			summaryEscaped = t.Escaped
+		case RecCoverage:
+			if err := requireFields(raw, "nr", "name", "mechanism", "count"); err != nil {
+				return lines, fmt.Errorf("line %d (coverage): %v", lines, err)
+			}
+		case RecEscape:
+			if err := requireFields(raw, "category", "nr", "name", "count"); err != nil {
+				return lines, fmt.Errorf("line %d (escape): %v", lines, err)
+			}
+			var e EscapeStat
+			if err := json.Unmarshal(line, &e); err != nil {
+				return lines, fmt.Errorf("line %d: bad escape: %v", lines, err)
+			}
+			if !validCategory(e.Category) {
+				return lines, fmt.Errorf("line %d: unknown escape category %q", lines, e.Category)
+			}
+			escapeSum += e.Count
+			sawEscapeRecord = true
+		case RecLedger:
+			if err := requireFields(raw, "category", "pid", "nr", "name", "clock", "excerpt"); err != nil {
+				return lines, fmt.Errorf("line %d (ledger): %v", lines, err)
+			}
+			var l LedgerEntry
+			if err := json.Unmarshal(line, &l); err != nil {
+				return lines, fmt.Errorf("line %d: bad ledger entry: %v", lines, err)
+			}
+			if !validCategory(l.Category) {
+				return lines, fmt.Errorf("line %d: unknown escape category %q", lines, l.Category)
+			}
+			if len(l.Excerpt) == 0 {
+				return lines, fmt.Errorf("line %d: ledger entry carries no excerpt", lines)
+			}
+		case RecProc:
+			if err := requireFields(raw, "pid", "oracles", "claims", "ttfc"); err != nil {
+				return lines, fmt.Errorf("line %d (proc): %v", lines, err)
+			}
+		case RecWindow:
+			if err := requireFields(raw, "index", "oracles"); err != nil {
+				return lines, fmt.Errorf("line %d (window): %v", lines, err)
+			}
+		case RecGuardMem:
+			if err := requireFields(raw, "kind", "max_reserved_bytes", "max_resident_bytes"); err != nil {
+				return lines, fmt.Errorf("line %d (guardmem): %v", lines, err)
+			}
+		default:
+			return lines, fmt.Errorf("line %d: unknown record type %q", lines, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lines, err
+	}
+	if summaries != 1 {
+		return lines, fmt.Errorf("expected exactly one summary record, found %d", summaries)
+	}
+	if sawEscapeRecord && summaryEscaped != escapeSum {
+		return lines, fmt.Errorf("summary escaped=%d but escape records sum to %d", summaryEscaped, escapeSum)
+	}
+	return lines, nil
+}
+
+func validCategory(c string) bool {
+	switch c {
+	case EscStartup, EscSignal, EscCloneChild, EscPostCoverage:
+		return true
+	}
+	return false
+}
+
+func stringField(raw map[string]json.RawMessage, key string) (string, error) {
+	v, ok := raw[key]
+	if !ok {
+		return "", fmt.Errorf("missing %q field", key)
+	}
+	var s string
+	if err := json.Unmarshal(v, &s); err != nil {
+		return "", fmt.Errorf("field %q is not a string", key)
+	}
+	return s, nil
+}
+
+func requireFields(raw map[string]json.RawMessage, keys ...string) error {
+	for _, k := range keys {
+		if _, ok := raw[k]; !ok {
+			return fmt.Errorf("missing %q field", k)
+		}
+	}
+	return nil
+}
+
+// Format renders the snapshot as a human-readable audit report.
+func (s *Snapshot) Format(w io.Writer) {
+	t := &s.Totals
+	fmt.Fprintf(w, "audit: %d executed, %d covered (%d emulated), %d escaped, %d internal, %d signal-infra\n",
+		t.Oracles, t.Covered, t.Emulated, t.Escaped, t.Internal, t.SignalInfra)
+	if t.Retries+t.DoubleInterposition+t.Misattributed+t.Unresolved != 0 {
+		fmt.Fprintf(w, "       %d retries, %d double-interposed, %d misattributed, %d unresolved\n",
+			t.Retries, t.DoubleInterposition, t.Misattributed, t.Unresolved)
+	}
+	if t.RewritesGenuine+t.RewritesMisidentified != 0 {
+		fmt.Fprintf(w, "       rewrites: %d genuine, %d misidentified, %d perm-clobbers\n",
+			t.RewritesGenuine, t.RewritesMisidentified, t.PermClobbers)
+	}
+	if t.VdsoMapped+t.VdsoDisabled != 0 {
+		fmt.Fprintf(w, "       vdso: %d image(s) mapped, %d disabled\n", t.VdsoMapped, t.VdsoDisabled)
+	}
+	if t.SignalDeaths+t.StaleFetches != 0 {
+		fmt.Fprintf(w, "       %d signal death(s), %d stale fetch(es)\n", t.SignalDeaths, t.StaleFetches)
+	}
+
+	if len(s.Procs) > 0 {
+		fmt.Fprintf(w, "\nper-process time-to-first-coverage (executed syscalls before the first claim):\n")
+		for i := range s.Procs {
+			p := &s.Procs[i]
+			vdso := p.Vdso
+			if vdso == "" {
+				vdso = "-"
+			}
+			fmt.Fprintf(w, "  pid %-4d ttfc=%-5d oracles=%-6d claims=%-6d vdso=%-8s exit=%d/%d\n",
+				p.PID, p.TTFC, p.Oracles, p.Claims, vdso, p.ExitCode, p.ExitSignal)
+		}
+	}
+
+	if len(s.Coverage) > 0 {
+		fmt.Fprintf(w, "\ncoverage matrix (syscall x mechanism):\n")
+		byMech := map[string][]CoverageCell{}
+		for _, c := range s.Coverage {
+			byMech[c.Mech] = append(byMech[c.Mech], c)
+		}
+		for _, mech := range sortedKeys(byMech) {
+			var n uint64
+			for _, c := range byMech[mech] {
+				n += c.Count
+			}
+			fmt.Fprintf(w, "  %-8s %6d calls over %d syscalls\n", mech, n, len(byMech[mech]))
+		}
+	}
+
+	if len(s.Escapes) > 0 {
+		fmt.Fprintf(w, "\nescapes by pitfall category:\n")
+		byCat := map[string][]EscapeStat{}
+		for _, e := range s.Escapes {
+			byCat[e.Category] = append(byCat[e.Category], e)
+		}
+		for _, cat := range sortedKeys(byCat) {
+			cells := byCat[cat]
+			var n uint64
+			names := make([]string, 0, len(cells))
+			for _, e := range cells {
+				n += e.Count
+				names = append(names, fmt.Sprintf("%s x%d", e.Name, e.Count))
+			}
+			sort.Strings(names)
+			fmt.Fprintf(w, "  %-14s %6d  (%s)\n", cat, n, joinMax(names, 6))
+		}
+	}
+
+	if len(s.Ledger) > 0 {
+		fmt.Fprintf(w, "\nescape ledger (first %d per category, with proof excerpt):\n", MaxLedgerPerCategory)
+		for i := range s.Ledger {
+			l := &s.Ledger[i]
+			fmt.Fprintf(w, "  [%s] pid %d tid %d %s at site %#x, clock %d\n",
+				l.Category, l.PID, l.TID, l.Name, l.Site, l.Clock)
+			tail := l.Excerpt
+			if len(tail) > 4 {
+				tail = tail[len(tail)-4:]
+			}
+			for _, line := range tail {
+				fmt.Fprintf(w, "      | %s\n", line)
+			}
+		}
+	}
+}
+
+func joinMax(parts []string, max int) string {
+	if len(parts) > max {
+		rest := len(parts) - max
+		parts = append(parts[:max:max], fmt.Sprintf("+%d more", rest))
+	}
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package audit
+
+import "fmt"
+
+// TTFCThreshold separates "interposed from the first instruction"
+// (ptrace, K23's ptracer phase) from "interposed only after library
+// init" (every LD_PRELOAD mechanism): a mechanism whose first claim
+// lands after more than this many executed syscalls has a startup
+// window (P2b).
+const TTFCThreshold = 10
+
+// P4bMemLimit is the per-process guard-structure budget the paper's
+// §6.2.1 comparison uses (the address-space bitmap blows it, the robin
+// set does not).
+const P4bMemLimit = 1 << 20
+
+// PitfallVerdict derives the Table 3 protected/vulnerable verdict for
+// one pitfall purely from audit snapshots — the PoC's internal hook
+// counters and assertions are never consulted. snaps are the audit
+// reports of every World the PoC ran (some PoCs use a second world for
+// their concurrency scan). handled=true means protected.
+func PitfallVerdict(pitfall string, snaps []*Snapshot) (handled bool, detail string) {
+	merged := &Snapshot{}
+	for _, s := range snaps {
+		merged.Merge(s)
+	}
+	t := &merged.Totals
+
+	switch pitfall {
+	case "P1a":
+		// Env-scrubbed execve: a process that exec'd, then executed
+		// syscalls, with zero claims in the new image = interposition
+		// silently gone.
+		for i := range merged.Procs {
+			p := &merged.Procs[i]
+			if p.SawExec && p.ClaimsSinceExec == 0 && p.TrapsSinceExec > 0 {
+				return false, fmt.Sprintf("pid %d executed %d uninterposed syscalls after execve", p.PID, p.TrapsSinceExec)
+			}
+		}
+		return true, "post-execve images remained attributed"
+	case "P1b", "P2a":
+		// SUD-off prctl / late-loaded code: both manifest as escapes
+		// AFTER coverage was established. A mechanism that aborted the
+		// tampering process produced no post-coverage escape.
+		if n := merged.EscapedIn(EscPostCoverage); n > 0 {
+			return false, fmt.Sprintf("%d syscall(s) escaped after coverage was established", n)
+		}
+		return true, "no post-coverage escapes"
+	case "P2b":
+		if t.VdsoMapped > 0 {
+			return false, "vdso mapped: vdso-eligible calls never reach the syscall stream"
+		}
+		var worstTTFC uint64
+		for i := range merged.Procs {
+			if merged.Procs[i].TTFC > worstTTFC {
+				worstTTFC = merged.Procs[i].TTFC
+			}
+		}
+		if worstTTFC > TTFCThreshold {
+			return false, fmt.Sprintf("startup window: %d syscalls executed before first coverage", worstTTFC)
+		}
+		return true, fmt.Sprintf("vdso disabled, time-to-first-coverage %d", worstTTFC)
+	case "P3a", "P3b":
+		// Disassembly desync: the rewriter patched bytes the loader's
+		// ground truth says are not a genuine syscall site.
+		if t.RewritesMisidentified > 0 {
+			return false, fmt.Sprintf("%d misidentified site(s) rewritten", t.RewritesMisidentified)
+		}
+		return true, "all rewrites hit genuine sites"
+	case "P4a":
+		// NULL-exec diversion: the victim exits 55 only if the wild
+		// call silently survived through the trampoline.
+		for i := range merged.Procs {
+			p := &merged.Procs[i]
+			if p.Exited && p.ExitSignal == 0 && p.ExitCode == 55 {
+				return false, fmt.Sprintf("pid %d survived the NULL call (exit 55)", p.PID)
+			}
+		}
+		return true, "NULL call did not silently survive"
+	case "P4b":
+		for i := range merged.GuardMem {
+			g := &merged.GuardMem[i]
+			if g.MaxReservedBytes > P4bMemLimit || g.MaxResidentBytes > P4bMemLimit {
+				return false, fmt.Sprintf("%s guard memory: %d B reserved, %d B resident",
+					g.Kind, g.MaxReservedBytes, g.MaxResidentBytes)
+			}
+		}
+		return true, "guard memory within budget"
+	case "P5":
+		// Runtime-rewriting hazards: any signal death, stale
+		// instruction fetch, or lost page permission across the JIT
+		// and delay-scan worlds.
+		if t.SignalDeaths > 0 {
+			return false, fmt.Sprintf("%d process(es) died by signal under concurrent/JIT rewriting", t.SignalDeaths)
+		}
+		if t.StaleFetches > 0 {
+			return false, fmt.Sprintf("%d stale instruction fetch(es)", t.StaleFetches)
+		}
+		if t.PermClobbers > 0 {
+			return false, fmt.Sprintf("%d page permission(s) lost by rewriting", t.PermClobbers)
+		}
+		return true, "no torn writes, stale fetches, or lost permissions"
+	}
+	return false, fmt.Sprintf("unknown pitfall %q", pitfall)
+}

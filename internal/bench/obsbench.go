@@ -136,6 +136,7 @@ func MeasureObsOverhead(variantName string) ([]ObsOverheadRow, error) {
 		{"no observer", obsv.Options{}, false},
 		{"observer, all off", obsv.Options{}, true},
 		{"metrics", obsv.Options{Metrics: true}, false},
+		{"audit", obsv.Options{Audit: true}, false},
 		{"trace[512]+metrics", obsv.Options{Trace: true, RingSize: 512, Metrics: true}, false},
 		{"trace+metrics", obsv.Options{Trace: true, Metrics: true}, false},
 		{"trace+metrics+profile", obsv.Options{Trace: true, Metrics: true, ProfileEvery: obsv.DefaultProfileEvery}, false},

@@ -200,6 +200,20 @@ func (tr *k23Tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site u
 
 	tr.syscalls++
 	if tr.k23.Config.Hook == nil {
+		// Startup-phase attribution without the hook machinery: the
+		// ptracer component sees (and therefore claims) every call from
+		// the first instruction. Registers are read directly — the
+		// attribution stream must not add ptrace-access charges the
+		// unobserved run would not pay.
+		if k.Tracing() {
+			call := &interpose.Call{
+				Kernel: k, Thread: t, Num: nr, Site: site, Mechanism: interpose.MechPtrace,
+			}
+			for i := range call.Args {
+				call.Args[i] = t.Core.Ctx.Arg(i)
+			}
+			interpose.Observe(call)
+		}
 		return false
 	}
 	regs := k.TraceeRegs(t)
@@ -213,10 +227,16 @@ func (tr *k23Tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site u
 		tr.last = make(map[int]*interpose.Call)
 	}
 	tr.last[t.TID] = call
+	interpose.Observe(call)
+	origNum := call.Num
 	ret, emulated := tr.k23.Config.Hook(call)
 	if emulated {
+		interpose.Resolve(call, call.Num, true)
 		regs.R[cpu.RAX] = ret
 		return true
+	}
+	if call.Num != origNum {
+		interpose.Resolve(call, call.Num, false)
 	}
 	regs.R[cpu.RAX] = call.Num
 	for i, a := range call.Args {
@@ -393,14 +413,14 @@ func (z *K23) initHost(h any, base uint64) error {
 
 	// 1. Fake-syscall handoff: the ptracer pokes its accumulated state
 	// (startup syscall count) into k23_handoff, then detaches.
-	if _, err := k.CallGuest(t, sym("k23_fake_syscall"),
+	if _, err := k.CallGuestInfra(t, sym("k23_fake_syscall"),
 		[6]uint64{FakeSyscallHandoff, sym("k23_handoff")}); err != nil {
 		return err
 	}
 	if v, err := p.AS.KLoadU64(sym("k23_handoff")); err == nil {
 		st.StartupSyscalls = v
 	}
-	if _, err := k.CallGuest(t, sym("k23_fake_syscall"), [6]uint64{FakeSyscallDetach}); err != nil {
+	if _, err := k.CallGuestInfra(t, sym("k23_fake_syscall"), [6]uint64{FakeSyscallDetach}); err != nil {
 		return err
 	}
 
@@ -409,7 +429,7 @@ func (z *K23) initHost(h any, base uint64) error {
 		var a [6]uint64
 		a[0] = nr
 		copy(a[1:], args)
-		return k.CallGuest(t, gate, a)
+		return k.CallGuestInfra(t, gate, a)
 	}
 
 	// 2. Trampoline at 0 with PKU-XOM (as zpoline/lazypoline, §5.3).
@@ -472,6 +492,7 @@ func (z *K23) initHost(h any, base uint64) error {
 	}
 	st.stats.Sites = st.sites.Len()
 	st.stats.MemResidentBytes = st.sites.MemBytes()
+	k.EmitGuardMem(p, "robin-set", st.stats.MemResidentBytes, st.stats.MemResidentBytes)
 
 	// 5. SUD fallback: catches everything the offline phase missed
 	// (P2a); never rewrites.
@@ -617,10 +638,15 @@ func (z *K23) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 	st.last[t.TID] = call
 	interpose.Observe(call)
 	if z.Config.Hook != nil {
+		origNum := call.Num
 		if ret, emulated := z.Config.Hook(call); emulated {
+			interpose.Resolve(call, call.Num, true)
 			ctx.R[cpu.RAX] = ret
 			ctx.R[cpu.R11] = 1
 			return nil
+		}
+		if call.Num != origNum {
+			interpose.Resolve(call, call.Num, false)
 		}
 		ctx.R[cpu.RAX] = call.Num
 		for i, a := range call.Args {
@@ -708,8 +734,14 @@ func (z *K23) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 
 	var ret uint64
 	emulated := false
+	origNum := call.Num
 	if z.Config.Hook != nil {
 		ret, emulated = z.Config.Hook(call)
+	}
+	if emulated {
+		interpose.Resolve(call, call.Num, true)
+	} else if call.Num != origNum {
+		interpose.Resolve(call, call.Num, false)
 	}
 	if !emulated {
 		if call.Num == kernel.SysClone {

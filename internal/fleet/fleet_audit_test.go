@@ -1,0 +1,258 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"k23/internal/apps"
+	"k23/internal/interpose"
+	"k23/internal/kernel"
+	"k23/internal/obsv"
+	"k23/internal/sud"
+)
+
+// TestFleetAuditDeterminism extends the fleet determinism contract to
+// the shadow-map auditor: per-machine audit snapshots — escape ledger,
+// coverage matrix, per-process joins — must be bit-identical at
+// workers=1 and workers=8, and auditing must not perturb execution
+// (hashes match an unaudited run exactly). Merge-at-report means the
+// fleet-level audit view is the sum of the per-machine views.
+func TestFleetAuditDeterminism(t *testing.T) {
+	machines := StandardFleet(12)
+	run := func(workers int) *Report {
+		rep, err := Run(context.Background(), machines,
+			Options{Workers: workers, Hash: true, Obs: obsv.Options{Audit: true}})
+		if err != nil {
+			t.Fatalf("fleet run (workers=%d): %v", workers, err)
+		}
+		if err := rep.FirstErr(); err != nil {
+			t.Fatalf("fleet run (workers=%d): %v", workers, err)
+		}
+		return rep
+	}
+	serialRep := run(1)
+	serial := normalize(serialRep)
+	parallel := normalize(run(8))
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("machine %s (audited) differs between workers=1 and workers=8", serial[i].Name)
+		}
+		if serial[i].Obs == nil || serial[i].Obs.Audit == nil {
+			t.Fatalf("machine %s: no audit snapshot collected", serial[i].Name)
+		}
+		if serial[i].Obs.Audit.Totals.Oracles == 0 {
+			t.Errorf("machine %s: audit saw no oracle events", serial[i].Name)
+		}
+	}
+
+	// The auditor must not perturb the simulation.
+	plain, err := Run(context.Background(), machines, Options{Workers: 8, Hash: true})
+	if err != nil {
+		t.Fatalf("unaudited fleet run: %v", err)
+	}
+	for i := range serial {
+		p, s := plain.Machines[i], serial[i]
+		if s.TraceHash != p.TraceHash || s.EventHash != p.EventHash || s.VFSHash != p.VFSHash {
+			t.Errorf("machine %s: auditing perturbed execution: audited={%#x %#x %#x} plain={%#x %#x %#x}",
+				s.Name, s.TraceHash, s.EventHash, s.VFSHash, p.TraceHash, p.EventHash, p.VFSHash)
+		}
+	}
+
+	// Merge-at-report: fleet totals are the per-machine sums.
+	merged := serialRep.MergedObs()
+	if merged == nil || merged.Audit == nil {
+		t.Fatal("MergedObs returned no audit snapshot")
+	}
+	var oracles, escaped uint64
+	for i := range serial {
+		oracles += serial[i].Obs.Audit.Totals.Oracles
+		escaped += serial[i].Obs.Audit.Totals.Escaped
+	}
+	if merged.Audit.Totals.Oracles != oracles {
+		t.Errorf("merged oracle total %d, want %d", merged.Audit.Totals.Oracles, oracles)
+	}
+	if merged.Audit.Totals.Escaped != escaped {
+		t.Errorf("merged escape total %d, want %d", merged.Audit.Totals.Escaped, escaped)
+	}
+	// Fleet machines spawn natively — no interposer, so the ground truth
+	// stream must join to zero coverage and zero escapes (direct
+	// syscalls without claims are internal, trap syscalls never happen).
+	if merged.Audit.Totals.Covered != 0 {
+		t.Errorf("native fleet shows %d covered syscalls — phantom claims?", merged.Audit.Totals.Covered)
+	}
+}
+
+// TestFleetAuditChaosReplayStable: under deterministic fault injection,
+// the audit report is a pure function of (machines, seed) — the same
+// seed replays to the identical snapshot at any worker count, across
+// 8 distinct chaos seeds.
+func TestFleetAuditChaosReplayStable(t *testing.T) {
+	machines := StandardFleet(8)
+	run := func(seed uint64, workers int) []Result {
+		prof := kernel.DefaultChaosProfile()
+		rep, err := Run(context.Background(), machines, Options{
+			Workers:   workers,
+			Hash:      true,
+			Obs:       obsv.Options{Audit: true},
+			Chaos:     &prof,
+			ChaosSeed: seed,
+		})
+		if err != nil {
+			t.Fatalf("chaos fleet run (seed=%#x workers=%d): %v", seed, workers, err)
+		}
+		if err := rep.FirstErr(); err != nil {
+			t.Fatalf("chaos fleet run (seed=%#x workers=%d): %v", seed, workers, err)
+		}
+		return normalize(rep)
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		serial := run(seed, 1)
+		parallel := run(seed, 8)
+		again := run(seed, 8)
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i].Obs.Audit, parallel[i].Obs.Audit) {
+				t.Errorf("seed %#x machine %s: audit differs between workers=1 and workers=8", seed, serial[i].Name)
+			}
+			if !reflect.DeepEqual(parallel[i].Obs.Audit, again[i].Obs.Audit) {
+				t.Errorf("seed %#x machine %s: audit differs across replays", seed, serial[i].Name)
+			}
+		}
+	}
+}
+
+// auditWorld runs one app under the SUD interposer in its own World
+// with metrics+audit observers, returning the frozen snapshot. This is
+// the merge fixture: separate Worlds, overlapping syscall sets.
+func auditWorld(t *testing.T, path string, argv []string) *obsv.Snapshot {
+	t.Helper()
+	w := interpose.NewWorld()
+	apps.RegisterAll(w.Reg)
+	if err := apps.SetupFS(w.K.FS); err != nil {
+		t.Fatal(err)
+	}
+	o := obsv.New(obsv.Options{Metrics: true, Audit: true})
+	o.Install(w.K)
+	p, err := sud.New(interpose.Config{}).Launch(w, path, argv, nil)
+	if err != nil {
+		t.Fatalf("launch %s: %v", path, err)
+	}
+	if err := w.K.RunUntilExit(p, 2_000_000_000); err != nil {
+		t.Fatalf("run %s: %v", path, err)
+	}
+	return o.Snapshot()
+}
+
+// TestMergedObsAcrossWorlds: Report.MergedObs folds per-mechanism
+// counters, per-syscall latency histograms, and audit coverage cells
+// across >=3 Worlds with overlapping syscall sets, cell-by-cell.
+func TestMergedObsAcrossWorlds(t *testing.T) {
+	snaps := []*obsv.Snapshot{
+		auditWorld(t, apps.LsPath, []string{"ls", "/data"}),
+		auditWorld(t, apps.CatPath, []string{"cat", "/data/notes.txt"}),
+		auditWorld(t, apps.PwdPath, []string{"pwd"}),
+	}
+	rep := &Report{Machines: []Result{{Obs: snaps[0]}, {Obs: snaps[1]}, {Obs: snaps[2]}}}
+	merged := rep.MergedObs()
+	if merged == nil || merged.Metrics == nil || merged.Audit == nil {
+		t.Fatal("MergedObs dropped metrics or audit")
+	}
+
+	// Per-mechanism counters merge by mechanism label; every label in a
+	// SUD-only World is SUD-flavored, and each merged cell is the sum of
+	// the per-World cells.
+	wantMech := map[string]uint64{}
+	for _, s := range snaps {
+		for _, m := range s.Metrics.Mechanisms {
+			if !strings.HasPrefix(m.Mechanism, "sud") {
+				t.Errorf("unexpected mechanism %q in a SUD-only World", m.Mechanism)
+			}
+			wantMech[m.Mechanism] += m.Count
+		}
+	}
+	gotMech := map[string]uint64{}
+	for _, m := range merged.Metrics.Mechanisms {
+		gotMech[m.Mechanism] += m.Count
+	}
+	if len(wantMech) == 0 {
+		t.Fatal("no mechanism counters collected")
+	}
+	if !reflect.DeepEqual(gotMech, wantMech) {
+		t.Errorf("merged mechanism counters = %v, want %v", gotMech, wantMech)
+	}
+
+	// Per-syscall latency histograms merge by syscall number. Every
+	// workload issues write and exit_group, so those cells must carry
+	// contributions from all three Worlds.
+	sumHist := func(s *obsv.MetricsSnapshot, name string) (count, sum uint64, seen int) {
+		for i := range s.Syscalls {
+			if s.Syscalls[i].Name == name {
+				count += s.Syscalls[i].Hist.Count
+				sum += s.Syscalls[i].Hist.Sum
+				seen++
+			}
+		}
+		return
+	}
+	for _, name := range []string{"write", "exit_group", "openat"} {
+		var wantCount, wantSum uint64
+		contributors := 0
+		for _, s := range snaps {
+			c, su, seen := sumHist(s.Metrics, name)
+			wantCount += c
+			wantSum += su
+			if seen > 0 {
+				contributors++
+			}
+		}
+		if contributors < 2 {
+			t.Fatalf("%s: only %d Worlds issued it — fixture lost its overlap", name, contributors)
+		}
+		gotCount, gotSum, seen := sumHist(merged.Metrics, name)
+		if seen != 1 {
+			t.Errorf("%s: merged snapshot has %d cells, want exactly 1", name, seen)
+		}
+		if gotCount != wantCount || gotSum != wantSum {
+			t.Errorf("%s: merged hist (count=%d sum=%d), want (count=%d sum=%d)",
+				name, gotCount, gotSum, wantCount, wantSum)
+		}
+	}
+
+	// Audit coverage matrix: per (syscall, mechanism) cells add.
+	type cell struct {
+		nr   uint64
+		mech string
+	}
+	want := map[cell]uint64{}
+	for _, s := range snaps {
+		for _, c := range s.Audit.Coverage {
+			want[cell{c.Nr, c.Mech}] += c.Count
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no coverage cells in any World")
+	}
+	got := map[cell]uint64{}
+	for _, c := range merged.Audit.Coverage {
+		if _, dup := got[cell{c.Nr, c.Mech}]; dup {
+			t.Errorf("coverage cell (%d, %s) duplicated after merge", c.Nr, c.Mech)
+		}
+		got[cell{c.Nr, c.Mech}] = c.Count
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged coverage cells = %v, want %v", got, want)
+	}
+
+	// Escape totals add (each World has its own startup window).
+	var wantEsc uint64
+	for _, s := range snaps {
+		wantEsc += s.Audit.Totals.Escaped
+	}
+	if wantEsc == 0 {
+		t.Fatal("SUD Worlds reported no startup escapes — fixture lost its signal")
+	}
+	if merged.Audit.Totals.Escaped != wantEsc {
+		t.Errorf("merged escape total %d, want %d", merged.Audit.Totals.Escaped, wantEsc)
+	}
+}

@@ -61,6 +61,17 @@ func Observe(c *Call) {
 	c.Kernel.EmitInterposed(c.Thread, c.Mechanism.String(), c.Num, c.Site)
 }
 
+// Resolve publishes the outcome of a hooked call when it diverges from
+// plain pass-through: the hook emulated it in-process (no kernel
+// execution of the claimed number will follow) or rewrote the number to
+// nr before forwarding. The audit joiner uses it to retire or update
+// the attribution claim Observe opened; pass-through calls need no
+// resolve — their kernel-side oracle closes the claim. Nil-cost when no
+// event observer is installed.
+func Resolve(c *Call, nr uint64, emulated bool) {
+	c.Kernel.EmitResolve(c.Thread, c.Mechanism.String(), nr, c.Site, emulated)
+}
+
 // Hook observes and optionally emulates a syscall. If emulated is true,
 // ret is returned to the application and the original call is not
 // executed. A nil Hook passes everything through — the "empty

@@ -132,6 +132,12 @@ type Thread struct {
 	// rewound over the entry instruction) from a host-initiated block
 	// (DirectSyscall: nothing to rewind, nothing to abort).
 	blockedLen uint64
+	// infraFrames counts nested CallGuestInfra frames: interposer
+	// library sequences whose syscalls are deliberately uninterposed
+	// (the SUD-allowlisted self-exemption). The oracle stream stamps
+	// them origin "hostcall" so the audit layer can separate trusted
+	// interposer plumbing from genuine application escapes.
+	infraFrames int
 
 	// ExtraCycles counts kernel-charged cycles (traps, signals, ptrace
 	// stops) attributed to this thread, on top of Core.Cycles.
@@ -325,7 +331,17 @@ const (
 	EvSeccompSigsys           // a seccomp filter raised SIGSYS
 	EvInterposed              // an interposer handled a call (Detail = mechanism)
 	EvChaos                   // the chaos injector perturbed a syscall (Detail = what)
+	EvOracle                  // ground truth: the kernel executed a syscall (Detail = origin)
+	EvResolve                 // an interposer emulated or rewrote a claimed call (Detail = mechanism)
+	EvVdso                    // loader vdso decision for a fresh image (Detail = mapped/disabled)
+	EvRewrite                 // binary-rewriter patched a site (Detail = genuine/misidentified[,perm-clobber])
+	EvGuardMem                // guard-structure footprint (Args[0] = reserved, Args[1] = resident bytes)
+	EvStaleFetch              // stale instruction fetches observed over a process lifetime (Num = count)
 )
+
+// NumEventKinds bounds the EventKind enum for counting arrays and
+// exhaustiveness checks (EvUnknown included).
+const NumEventKinds = int(EvStaleFetch) + 1
 
 // String returns the historical text label of the kind.
 func (k EventKind) String() string {
@@ -350,6 +366,18 @@ func (k EventKind) String() string {
 		return "interposed"
 	case EvChaos:
 		return "chaos"
+	case EvOracle:
+		return "oracle"
+	case EvResolve:
+		return "interpose-resolve"
+	case EvVdso:
+		return "vdso"
+	case EvRewrite:
+		return "rewrite"
+	case EvGuardMem:
+		return "guard-mem"
+	case EvStaleFetch:
+		return "stale-fetch"
 	default:
 		return "unknown"
 	}
@@ -358,7 +386,7 @@ func (k EventKind) String() string {
 // EventKindByName is the inverse of EventKind.String, for parsers
 // (JSONL schema validation).
 func EventKindByName(s string) (EventKind, bool) {
-	for k := EvEnter; k <= EvChaos; k++ {
+	for k := EvEnter; int(k) < NumEventKinds; k++ {
 		if k.String() == s {
 			return k, true
 		}
@@ -703,6 +731,52 @@ func (k *Kernel) EmitInterposed(t *Thread, mech string, nr, site uint64) {
 	k.emit(Event{PID: t.Proc.PID, TID: t.TID, Kind: EvInterposed, Num: nr, Site: site, Detail: mech})
 }
 
+// EmitResolve publishes a claim-resolution event: the interposer's hook
+// emulated the claimed call in-process (emulated=true; no kernel oracle
+// will follow) or rewrote its number to nr before forwarding. The audit
+// joiner uses it to retire or update the pending attribution claim.
+func (k *Kernel) EmitResolve(t *Thread, mech string, nr, site uint64, emulated bool) {
+	if k.EventHook == nil {
+		return
+	}
+	var ret uint64
+	if emulated {
+		ret = 1
+	}
+	k.emit(Event{PID: t.Proc.PID, TID: t.TID, Kind: EvResolve, Num: nr, Site: site, Ret: ret, Detail: mech})
+}
+
+// EmitVdso publishes the loader's vdso decision for a freshly set-up
+// image: Detail is "mapped" (the P2b structural blind spot exists) or
+// "disabled" (the interposer asked for WithDisableVDSO).
+func (k *Kernel) EmitVdso(p *Process, detail string) {
+	if k.EventHook == nil {
+		return
+	}
+	k.emit(Event{PID: p.PID, Kind: EvVdso, Detail: detail})
+}
+
+// EmitRewrite publishes one binary-rewrite decision at site. Detail is
+// "genuine" or "misidentified", with ",perm-clobber" appended when the
+// rewriter lost the original page permission (P5).
+func (k *Kernel) EmitRewrite(t *Thread, site uint64, detail string) {
+	if k.EventHook == nil {
+		return
+	}
+	k.emit(Event{PID: t.Proc.PID, TID: t.TID, Kind: EvRewrite, Site: site, Detail: detail})
+}
+
+// EmitGuardMem publishes the current guard-structure footprint of an
+// interposer (bitmap, robin set): Args[0] reserved, Args[1] resident.
+func (k *Kernel) EmitGuardMem(p *Process, kind string, reserved, resident uint64) {
+	if k.EventHook == nil {
+		return
+	}
+	ev := Event{PID: p.PID, Kind: EvGuardMem, Detail: kind}
+	ev.Args[0], ev.Args[1] = reserved, resident
+	k.emit(ev)
+}
+
 // SetProfile installs (or, with every == 0, removes) the sampling
 // profiler hook. The first sample fires `every` virtual-clock ticks
 // from now.
@@ -907,8 +981,16 @@ func (k *Kernel) finishProcess(p *Process, info ExitInfo) {
 	if k.Tracing() {
 		// Detail formatting (info.String) is deliberately inside the
 		// guard: process exit is not hot, but the contract — no
-		// formatting without an observer — is uniform.
-		k.emit(Event{PID: p.PID, Kind: EvExitProc, Num: uint64(info.Code), Detail: info.String()})
+		// formatting without an observer — is uniform. Ret carries the
+		// death signal so stream consumers need not parse Detail.
+		var stale uint64
+		for _, t := range p.Threads {
+			stale += t.Core.CMCViolations
+		}
+		if stale != 0 {
+			k.emit(Event{PID: p.PID, Kind: EvStaleFetch, Num: stale})
+		}
+		k.emit(Event{PID: p.PID, Kind: EvExitProc, Num: uint64(info.Code), Ret: uint64(info.Signal), Detail: info.String()})
 	}
 }
 
@@ -927,6 +1009,26 @@ var ErrGuestWouldBlock = fmt.Errorf("kernel: guest call would block")
 //
 // The guest call runs under full kernel semantics: SUD, ptrace and signal
 // delivery all apply.
+//
+// CallGuestInfra is the variant interposer host logic must use for its
+// own library sequences (init-time gate calls, do-syscall stubs):
+// syscalls executed inside the frame are stamped origin "hostcall" in
+// the oracle event stream, marking them as the mechanism's documented
+// self-exemption rather than organic application execution. The loader
+// keeps using plain CallGuest — its startup stubs model ld.so activity,
+// which IS organic guest execution.
+func (k *Kernel) CallGuestInfra(t *Thread, entry uint64, args [6]uint64) (uint64, error) {
+	t.infraFrames++
+	defer func() {
+		// Floor at zero: an execve inside the frame replaced the image
+		// and reset the count — the stale unwind must not go negative.
+		if t.infraFrames > 0 {
+			t.infraFrames--
+		}
+	}()
+	return k.CallGuest(t, entry, args)
+}
+
 func (k *Kernel) CallGuest(t *Thread, entry uint64, args [6]uint64) (uint64, error) {
 	saved := t.Core.Ctx
 	savedState := t.State

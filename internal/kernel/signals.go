@@ -187,6 +187,19 @@ func (k *Kernel) interruptBlockedSyscall(t *Thread, flags uint64) {
 	t.State = ThreadRunnable
 	t.wake = nil
 	if flags&SARestart == 0 && t.blockedLen != 0 {
+		if k.EventHook != nil {
+			// The aborted call logically completed with -EINTR: emit its
+			// ground-truth oracle here, since the blocked executeSyscall
+			// deliberately did not. RIP is still rewound to the entry
+			// site and RAX still holds the number at block time.
+			origin := "trap"
+			if t.infraFrames > 0 {
+				origin = "hostcall"
+			}
+			k.emit(Event{PID: t.Proc.PID, TID: t.TID, Kind: EvOracle,
+				Num: t.Core.Ctx.R[cpu.RAX], Site: t.Core.Ctx.RIP,
+				Ret: errno(EINTR), Detail: origin})
+		}
 		t.Core.Ctx.RIP += t.blockedLen
 		t.Core.Ctx.R[cpu.RAX] = errno(EINTR)
 	}

@@ -278,10 +278,41 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 	}
 }
 
-// executeSyscall runs the system call service routine. noReturn is true
-// when the routine replaced the thread context (execve, exit,
-// rt_sigreturn) and RAX must not be overwritten.
+// executeSyscall runs the system call service routine and publishes the
+// ground-truth oracle event: one EvOracle per syscall the kernel actually
+// executed, whatever the entry path (guest trap or interposer-issued
+// DirectSyscall). The origin is captured BEFORE the body runs — execve
+// replaces the image and its nested startup calls clobber the in-flight
+// trap record — and the event is emitted AFTER, so Ret is the real
+// result. A call that blocked is not an execution: it re-enters through
+// its rewound entry instruction and completes (and is emitted) exactly
+// once; the EINTR abort path emits its own oracle from
+// interruptBlockedSyscall. Cost when disabled: one nil-check.
 func (k *Kernel) executeSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) (ret uint64, noReturn bool) {
+	if k.EventHook == nil {
+		return k.serviceSyscall(t, nr, a, site)
+	}
+	trapped := t.entryLen != 0
+	pid, tid := t.Proc.PID, t.TID
+	ret, noReturn = k.serviceSyscall(t, nr, a, site)
+	if t.State != ThreadBlocked {
+		origin := "direct"
+		if trapped {
+			origin = "trap"
+			if t.infraFrames > 0 {
+				origin = "hostcall"
+			}
+		}
+		ev := Event{PID: pid, TID: tid, Kind: EvOracle, Num: nr, Site: site, Ret: ret, Args: a, Detail: origin}
+		k.emit(ev)
+	}
+	return ret, noReturn
+}
+
+// serviceSyscall is the system call service routine body. noReturn is
+// true when the routine replaced the thread context (execve, exit,
+// rt_sigreturn) and RAX must not be overwritten.
+func (k *Kernel) serviceSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) (ret uint64, noReturn bool) {
 	p := t.Proc
 	t.charge(k.Cost.KernelWork)
 
@@ -892,6 +923,10 @@ func (k *Kernel) sysExecve(t *Thread, pathAddr, argvAddr, envAddr uint64) (uint6
 	if err := k.Exec(k, t, path, argv, env); err != nil {
 		return errno(ENOENT), false
 	}
+	// The old image — including any in-flight interposer infrastructure
+	// frame that issued this execve — is gone; execution in the new
+	// image is organic. Stale CallGuestInfra defers floor at zero.
+	t.infraFrames = 0
 	return 0, true
 }
 

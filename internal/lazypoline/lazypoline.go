@@ -213,7 +213,7 @@ func (l *Lazypoline) initHost(h any, base uint64) error {
 		// syscalls can fail with EINTR/EAGAIN/ENOMEM/EMFILE; robust
 		// init code re-issues them like the libc wrappers do.
 		for tries := 0; ; tries++ {
-			ret, err := k.CallGuest(t, gate, a)
+			ret, err := k.CallGuestInfra(t, gate, a)
 			if err != nil {
 				return ret, err
 			}
@@ -304,8 +304,14 @@ func (l *Lazypoline) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 
 	var ret uint64
 	emulated := false
+	origNum := call.Num
 	if l.Config.Hook != nil {
 		ret, emulated = l.Config.Hook(call)
+	}
+	if emulated {
+		interpose.Resolve(call, call.Num, true)
+	} else if call.Num != origNum {
+		interpose.Resolve(call, call.Num, false)
 	}
 	if !emulated {
 		if call.Num == kernel.SysClone {
@@ -340,9 +346,10 @@ func (l *Lazypoline) stageRewrite(k *kernel.Kernel, t *kernel.Thread, st *state,
 	if !ok || perm&mem.PermExec == 0 {
 		return clearScratch()
 	}
-	if !st.truth[site] {
+	genuine := st.truth[site]
+	if !genuine {
 		// Corruption: the trapped bytes were data or a partial
-		// instruction (diagnostic accounting only).
+		// instruction (diagnostic accounting and audit stream only).
 		st.stats.Corruptions++
 	}
 	// mprotect the page RWX through the allowlisted gate. The original
@@ -353,11 +360,22 @@ func (l *Lazypoline) stageRewrite(k *kernel.Kernel, t *kernel.Thread, st *state,
 		[6]uint64{pageAddr, span, kernel.ProtRead | kernel.ProtWrite | kernel.ProtExec}); err != nil {
 		return err
 	}
-	if perm != mem.PermRX {
+	clobber := perm != mem.PermRX
+	if clobber {
 		st.stats.PermClobbers++
 	}
 	st.rewritten[site] = true
 	st.stats.Sites = len(st.rewritten)
+	if k.Tracing() {
+		detail := "genuine"
+		if !genuine {
+			detail = "misidentified"
+		}
+		if clobber {
+			detail += ",perm-clobber"
+		}
+		k.EmitRewrite(t, site, detail)
+	}
 
 	if err := as.KStoreU64(st.scratchAddr, site); err != nil {
 		return err
@@ -417,10 +435,15 @@ func (l *Lazypoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 	st.last[t.TID] = call
 	interpose.Observe(call)
 	if l.Config.Hook != nil {
+		origNum := call.Num
 		if ret, emulated := l.Config.Hook(call); emulated {
+			interpose.Resolve(call, call.Num, true)
 			ctx.R[cpu.RAX] = ret
 			ctx.R[cpu.R11] = 1
 			return nil
+		}
+		if call.Num != origNum {
+			interpose.Resolve(call, call.Num, false)
 		}
 		ctx.R[cpu.RAX] = call.Num
 		for i, a := range call.Args {

@@ -285,6 +285,9 @@ func (l *Loader) setupProcessOnThread(p *kernel.Process, t *kernel.Thread, path 
 			return nil, err
 		}
 		l.K.RegisterVvar(p, vvarBase)
+		l.K.EmitVdso(p, "mapped")
+	} else {
+		l.K.EmitVdso(p, "disabled")
 	}
 
 	// Thread bootstrap context: stack pointer only; RIP set at the end.

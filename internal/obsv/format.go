@@ -55,7 +55,7 @@ func WriteJSONLTagged(w io.Writer, recs []Record, machine string) error {
 			jr.Name = SyscallName(r.Num)
 			args := r.Args
 			jr.Args = args[:]
-		case kernel.EvExit, kernel.EvFork:
+		case kernel.EvExit, kernel.EvFork, kernel.EvOracle, kernel.EvResolve:
 			jr.Name = SyscallName(r.Num)
 			ret := int64(r.Ret)
 			jr.Ret = &ret
@@ -97,6 +97,22 @@ func FormatRecord(r Record, enterArgs []uint64) string {
 		fmt.Fprintf(&b, "~~~ %s interposed %s {site=%#x} ~~~", r.Detail, SyscallName(r.Num), r.Site)
 	case kernel.EvChaos:
 		fmt.Fprintf(&b, "!!! chaos %s on %s {site=%#x} !!!", r.Detail, SyscallName(r.Num), r.Site)
+	case kernel.EvOracle:
+		fmt.Fprintf(&b, "=== oracle %s = %s {site=%#x, origin=%s} ===", SyscallName(r.Num), formatRet(r.Ret), r.Site, r.Detail)
+	case kernel.EvResolve:
+		verb := "renumbered"
+		if r.Ret == 1 {
+			verb = "emulated"
+		}
+		fmt.Fprintf(&b, "~~~ %s %s %s {site=%#x} ~~~", r.Detail, verb, SyscallName(r.Num), r.Site)
+	case kernel.EvVdso:
+		fmt.Fprintf(&b, "vdso %s", r.Detail)
+	case kernel.EvRewrite:
+		fmt.Fprintf(&b, "rewrite {site=%#x} %s", r.Site, r.Detail)
+	case kernel.EvGuardMem:
+		fmt.Fprintf(&b, "guard-mem %s reserved=%d resident=%d", r.Detail, r.Args[0], r.Args[1])
+	case kernel.EvStaleFetch:
+		fmt.Fprintf(&b, "!!! %d stale instruction fetch(es) !!!", r.Num)
 	default:
 		fmt.Fprintf(&b, "%s num=%d site=%#x %s", r.Kind, r.Num, r.Site, r.Detail)
 	}

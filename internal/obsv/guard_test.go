@@ -1,0 +1,76 @@
+package obsv_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"k23/internal/fleet"
+	"k23/internal/kernel"
+	"k23/internal/obsv"
+)
+
+// TestEventKindNamesExhaustive guards the event-kind naming table:
+// adding a kernel.EventKind without teaching String()/EventKindByName
+// about it silently breaks JSONL schema validation and the audit
+// stream, so every kind must have a unique, round-trippable name.
+func TestEventKindNamesExhaustive(t *testing.T) {
+	seen := map[string]kernel.EventKind{}
+	for k := kernel.EvEnter; int(k) < kernel.NumEventKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("EventKind %d has no name — extend EventKind.String", k)
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("EventKind %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+		back, ok := kernel.EventKindByName(name)
+		if !ok || back != k {
+			t.Errorf("EventKindByName(%q) = (%d, %v), want (%d, true)", name, back, ok, k)
+		}
+	}
+	if _, ok := kernel.EventKindByName("no-such-kind"); ok {
+		t.Error("EventKindByName accepted a bogus name")
+	}
+}
+
+// TestSyscallNamesCoverAppWorkloads guards the syscall naming table
+// against drift in internal/apps: every syscall number any standard
+// workload actually executes must have a real Linux name, not the
+// "syscall_N" fallback — unnamed numbers would corrupt metric labels,
+// audit coverage matrices, and the strace renderer. The workloads run
+// through the fleet executor so the server apps (nginx, lighttpd,
+// redis) get request traffic and exercise their full syscall surface.
+func TestSyscallNamesCoverAppWorkloads(t *testing.T) {
+	machines := fleet.StandardFleet(9) // one of each difftest app workload
+	rep, err := fleet.Run(context.Background(), machines,
+		fleet.Options{Workers: 4, Obs: obsv.Options{Metrics: true}})
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if err := rep.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range rep.Machines {
+		m := &rep.Machines[i]
+		if m.Obs == nil || m.Obs.Metrics == nil {
+			t.Fatalf("machine %s: no metrics", m.Name)
+		}
+		for _, sc := range m.Obs.Metrics.Syscalls {
+			total++
+			if strings.HasPrefix(sc.Name, "syscall_") {
+				t.Errorf("machine %s executes syscall %d with no name in internal/obsv/names.go",
+					m.Name, sc.Nr)
+			}
+			if got := obsv.SyscallName(sc.Nr); got != sc.Name {
+				t.Errorf("metrics name %q disagrees with SyscallName(%d) = %q", sc.Name, sc.Nr, got)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no syscalls observed across the standard fleet")
+	}
+}

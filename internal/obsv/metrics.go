@@ -119,7 +119,7 @@ type Metrics struct {
 }
 
 // EvKindCount bounds the kernel event-kind enum for counting arrays.
-const EvKindCount = int(kernel.EvChaos) + 1
+const EvKindCount = kernel.NumEventKinds
 
 // NewMetrics returns an empty metrics accumulator.
 func NewMetrics() *Metrics {

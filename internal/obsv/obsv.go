@@ -16,6 +16,7 @@
 package obsv
 
 import (
+	"k23/internal/audit"
 	"k23/internal/kernel"
 )
 
@@ -32,20 +33,25 @@ type Options struct {
 	// ProfileEvery samples the running thread's RIP every N virtual
 	// clock ticks. Zero disables profiling.
 	ProfileEvery uint64
+	// Audit enables the differential shadow-map auditor: the kernel's
+	// ground-truth oracle stream joined against per-mechanism
+	// attribution claims (internal/audit).
+	Audit bool
 }
 
 // Enabled reports whether any collector is requested.
 func (o Options) Enabled() bool {
-	return o.Trace || o.Metrics || o.ProfileEvery != 0
+	return o.Trace || o.Metrics || o.Audit || o.ProfileEvery != 0
 }
 
 // Observer bundles the collectors for one kernel (one World). Create
 // with New, attach with Install, read with Snapshot.
 type Observer struct {
 	Opts     Options
-	Ring     *Recorder // nil unless Opts.Trace
-	Metrics  *Metrics  // nil unless Opts.Metrics
-	Profiler *Profiler // nil unless Opts.ProfileEvery != 0
+	Ring     *Recorder      // nil unless Opts.Trace
+	Metrics  *Metrics       // nil unless Opts.Metrics
+	Profiler *Profiler      // nil unless Opts.ProfileEvery != 0
+	Audit    *audit.Auditor // nil unless Opts.Audit
 
 	k *kernel.Kernel // set by Install; used for symbolization
 }
@@ -63,6 +69,9 @@ func New(opts Options) *Observer {
 	if opts.ProfileEvery != 0 {
 		o.Profiler = NewProfiler()
 	}
+	if opts.Audit {
+		o.Audit = audit.New(SyscallName)
+	}
 	return o
 }
 
@@ -73,7 +82,7 @@ func New(opts Options) *Observer {
 // event hasher keeps running).
 func (o *Observer) Install(k *kernel.Kernel) {
 	o.k = k
-	if o.Ring != nil || o.Metrics != nil {
+	if o.Ring != nil || o.Metrics != nil || o.Audit != nil {
 		o.installEventHook(k)
 	}
 	if o.Profiler != nil {
@@ -82,7 +91,7 @@ func (o *Observer) Install(k *kernel.Kernel) {
 }
 
 func (o *Observer) installEventHook(k *kernel.Kernel) {
-	ring, metrics := o.Ring, o.Metrics
+	ring, metrics, auditor := o.Ring, o.Metrics, o.Audit
 	k.AddEventHook(func(e kernel.Event) {
 		// Pass down by pointer: the collectors only read the event for
 		// the duration of the call, and the hook fires per syscall.
@@ -91,6 +100,9 @@ func (o *Observer) installEventHook(k *kernel.Kernel) {
 		}
 		if metrics != nil {
 			metrics.Handle(&e)
+		}
+		if auditor != nil {
+			auditor.Handle(&e)
 		}
 	})
 }
@@ -115,6 +127,8 @@ type Snapshot struct {
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
 	// Profile is nil when profiling was off.
 	Profile *ProfileSnapshot `json:"profile,omitempty"`
+	// Audit is nil when the auditor was off.
+	Audit *audit.Snapshot `json:"audit,omitempty"`
 }
 
 // Snapshot freezes the observer's state. Call after the machine has
@@ -135,6 +149,9 @@ func (o *Observer) Snapshot() *Snapshot {
 	}
 	if o.Profiler != nil && o.k != nil {
 		s.Profile = o.Profiler.Snapshot(o.k, o.Opts.ProfileEvery)
+	}
+	if o.Audit != nil {
+		s.Audit = o.Audit.Snapshot()
 	}
 	return s
 }
@@ -159,5 +176,11 @@ func (s *Snapshot) Merge(other *Snapshot) {
 			s.Profile = &ProfileSnapshot{Period: other.Profile.Period}
 		}
 		s.Profile.Merge(other.Profile)
+	}
+	if other.Audit != nil {
+		if s.Audit == nil {
+			s.Audit = &audit.Snapshot{}
+		}
+		s.Audit.Merge(other.Audit)
 	}
 }

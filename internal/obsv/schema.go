@@ -79,6 +79,13 @@ func ValidateJSONL(r io.Reader) (int, error) {
 			if _, ok := m["ret"]; !ok {
 				return count, fmt.Errorf("line %d: exit record missing ret", line)
 			}
+		case kernel.EvOracle:
+			if rec.Name == "" {
+				return count, fmt.Errorf("line %d: oracle record missing name", line)
+			}
+			if rec.Detail != "trap" && rec.Detail != "direct" && rec.Detail != "hostcall" {
+				return count, fmt.Errorf("line %d: oracle record has origin %q, want trap|direct|hostcall", line, rec.Detail)
+			}
 		}
 		count++
 	}

@@ -1,0 +1,60 @@
+package pitfalls
+
+import (
+	"testing"
+
+	"k23/internal/interpose/variants"
+)
+
+// TestAuditMatrixParity is the differential-observability acceptance
+// test: for every Table 3 cell, the shadow-map auditor must rediscover
+// the PoC's vulnerable/protected verdict from the ground-truth vs
+// attribution streams alone — the PoC's internal hook counters and
+// assertions never feed the auditor.
+func TestAuditMatrixParity(t *testing.T) {
+	cells, err := AuditMatrix(variants.Table3Columns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(All())*3 {
+		t.Fatalf("got %d cells, want %d", len(cells), len(All())*3)
+	}
+	for i := range cells {
+		c := &cells[i]
+		if len(c.Snapshots) == 0 {
+			t.Errorf("%s/%s: no audit snapshots collected", c.Pitfall, c.Interposer)
+			continue
+		}
+		var oracles uint64
+		for _, s := range c.Snapshots {
+			oracles += s.Totals.Oracles
+		}
+		if oracles == 0 {
+			t.Errorf("%s/%s: auditor saw no executed syscalls", c.Pitfall, c.Interposer)
+		}
+		if !c.Agree() {
+			t.Errorf("%s/%s: PoC says handled=%v (%s) but audit says handled=%v (%s)",
+				c.Pitfall, c.Interposer, c.Handled, c.Detail, c.AuditHandled, c.AuditDetail)
+		}
+	}
+}
+
+// TestAuditVerdictMatchesTable3 pins the audit-derived verdicts to the
+// paper's published Table 3, independently of the PoCs' own assertions.
+func TestAuditVerdictMatchesTable3(t *testing.T) {
+	cells, err := AuditMatrix(variants.Table3Columns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		c := &cells[i]
+		want, ok := expectTable3[c.Pitfall][c.Interposer]
+		if !ok {
+			continue
+		}
+		if c.AuditHandled != want {
+			t.Errorf("%s/%s: audit verdict handled=%v (%s), Table 3 says %v",
+				c.Pitfall, c.Interposer, c.AuditHandled, c.AuditDetail, want)
+		}
+	}
+}

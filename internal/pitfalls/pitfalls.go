@@ -15,10 +15,12 @@ import (
 	"strings"
 
 	"k23/internal/apps"
+	"k23/internal/audit"
 	"k23/internal/core"
 	"k23/internal/interpose"
 	"k23/internal/interpose/variants"
 	"k23/internal/kernel"
+	"k23/internal/obsv"
 )
 
 // Result is one cell of the Table 3 matrix.
@@ -78,6 +80,65 @@ func Matrix(specs []variants.Spec, opts ...kernel.Option) ([]Result, error) {
 	return out, nil
 }
 
+// AuditCell pairs a matrix cell's hand-asserted result with the
+// shadow-map auditor's independent stream-derived verdict for the same
+// run.
+type AuditCell struct {
+	Result
+	// AuditHandled is the verdict audit.PitfallVerdict derived purely
+	// from the ground-truth vs attribution streams.
+	AuditHandled bool
+	// AuditDetail explains the audit verdict.
+	AuditDetail string
+	// Snapshots holds the audit report of every world the PoC ran, in
+	// creation order.
+	Snapshots []*audit.Snapshot
+}
+
+// Agree reports whether the auditor rediscovered the PoC's verdict.
+func (c *AuditCell) Agree() bool { return c.Handled == c.AuditHandled }
+
+// AuditMatrix runs every PoC against every variant with a shadow-map
+// auditor attached to each world at production start — after any offline
+// phase, which is the paper's controlled environment and not part of the
+// production attack surface. The auditor sees only the kernel's event
+// stream; the PoCs' internal hook counters never feed it.
+func AuditMatrix(specs []variants.Spec, opts ...kernel.Option) ([]AuditCell, error) {
+	var out []AuditCell
+	for _, poc := range All() {
+		for _, spec := range specs {
+			var observers []*obsv.Observer
+			auditInstall = func(w *interpose.World) {
+				o := obsv.New(obsv.Options{Audit: true})
+				o.Install(w.K)
+				observers = append(observers, o)
+			}
+			handled, detail, err := poc.Run(spec, opts...)
+			auditInstall = nil
+			if err != nil {
+				return nil, fmt.Errorf("pitfalls: %s under %s: %w", poc.ID, spec.Name, err)
+			}
+			snaps := make([]*audit.Snapshot, 0, len(observers))
+			for _, o := range observers {
+				snaps = append(snaps, o.Snapshot().Audit)
+			}
+			ah, ad := audit.PitfallVerdict(poc.ID, snaps)
+			out = append(out, AuditCell{
+				Result: Result{
+					Pitfall:    poc.ID,
+					Interposer: spec.Name,
+					Handled:    handled,
+					Detail:     detail,
+				},
+				AuditHandled: ah,
+				AuditDetail:  ad,
+				Snapshots:    snaps,
+			})
+		}
+	}
+	return out, nil
+}
+
 // FormatMatrix renders results as the Table 3 grid.
 func FormatMatrix(results []Result) string {
 	cols := []string{}
@@ -121,6 +182,63 @@ func FormatMatrix(results []Result) string {
 	return b.String()
 }
 
+// FormatAuditMatrix renders the audit parity view of the Table 3
+// matrix: each cell carries the hand-asserted verdict, suffixed with
+// "*" when the stream-derived audit verdict disagrees. The trailing
+// summary line counts the disagreements.
+func FormatAuditMatrix(cells []AuditCell) string {
+	cols := []string{}
+	seen := map[string]bool{}
+	for i := range cells {
+		if !seen[cells[i].Interposer] {
+			seen[cells[i].Interposer] = true
+			cols = append(cols, cells[i].Interposer)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %-16s", c)
+	}
+	b.WriteByte('\n')
+	byPitfall := map[string]map[string]AuditCell{}
+	var order []string
+	for i := range cells {
+		c := cells[i]
+		if byPitfall[c.Pitfall] == nil {
+			byPitfall[c.Pitfall] = map[string]AuditCell{}
+			order = append(order, c.Pitfall)
+		}
+		byPitfall[c.Pitfall][c.Interposer] = c
+	}
+	disagreements := 0
+	for _, pid := range order {
+		fmt.Fprintf(&b, "%-6s", pid)
+		for _, col := range cols {
+			mark := "?"
+			if c, ok := byPitfall[pid][col]; ok {
+				if c.Handled {
+					mark = "YES"
+				} else {
+					mark = "no"
+				}
+				if !c.Agree() {
+					mark += "*"
+					disagreements++
+				}
+			}
+			fmt.Fprintf(&b, " %-16s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	if disagreements == 0 {
+		fmt.Fprintf(&b, "\naudit parity: every verdict independently rediscovered from the syscall streams\n")
+	} else {
+		fmt.Fprintf(&b, "\naudit parity: %d cell(s) marked * — audit verdict disagrees with the PoC\n", disagreements)
+	}
+	return b.String()
+}
+
 // ---------------------------------------------------------------------
 // shared harness
 // ---------------------------------------------------------------------
@@ -134,6 +252,13 @@ func world(opts ...kernel.Option) *interpose.World {
 	registerPoCBinaries(w)
 	return w
 }
+
+// auditInstall, when non-nil, is invoked on every PoC world at the
+// moment production interposition starts — after any offline phase, so
+// the auditor never attributes the controlled offline environment's
+// syscalls to the production attack surface. Set only by AuditMatrix;
+// the PoC suite runs serially.
+var auditInstall func(w *interpose.World)
 
 // launcherFor constructs the launcher for a spec, running the offline
 // phase with benign arguments first when the variant needs a log.
@@ -155,6 +280,9 @@ func launcherFor(w *interpose.World, spec variants.Spec, cfg interpose.Config,
 		}
 		name := target[strings.LastIndexByte(target, '/')+1:]
 		logPath = off.LogPath(name)
+	}
+	if auditInstall != nil {
+		auditInstall(w)
 	}
 	return spec.New(cfg, logPath), nil
 }

@@ -60,10 +60,15 @@ func (tr *tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site uint
 	if tr.pt.Config.Hook == nil {
 		return false
 	}
+	origNum := call.Num
 	ret, emulated := tr.pt.Config.Hook(call)
 	if emulated {
+		interpose.Resolve(call, call.Num, true)
 		regs.R[cpu.RAX] = ret
 		return true
+	}
+	if call.Num != origNum {
+		interpose.Resolve(call, call.Num, false)
 	}
 	regs.R[cpu.RAX] = call.Num
 	for i, a := range call.Args {

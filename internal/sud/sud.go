@@ -194,7 +194,7 @@ func (s *SUD) initHost(h any, base uint64) error {
 		// syscalls can fail with EINTR/EAGAIN/ENOMEM/EMFILE; robust
 		// init code re-issues them like the libc wrappers do.
 		for tries := 0; ; tries++ {
-			ret, err := k.CallGuest(t, gate, a)
+			ret, err := k.CallGuestInfra(t, gate, a)
 			if err != nil {
 				return ret, err
 			}
@@ -287,8 +287,14 @@ func (s *SUD) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 
 	var ret uint64
 	emulated := false
+	origNum := call.Num
 	if s.Config.Hook != nil {
 		ret, emulated = s.Config.Hook(call)
+	}
+	if emulated {
+		interpose.Resolve(call, call.Num, true)
+	} else if call.Num != origNum {
+		interpose.Resolve(call, call.Num, false)
 	}
 	if !emulated {
 		if call.Num == kernel.SysClone {
@@ -335,5 +341,5 @@ func ExecFrame(k *kernel.Kernel, t *kernel.Thread, frameAddr, stub uint64,
 			return 0, err
 		}
 	}
-	return k.CallGuest(t, stub, [6]uint64{})
+	return k.CallGuestInfra(t, stub, [6]uint64{})
 }

@@ -178,7 +178,7 @@ func (z *Zpoline) initHost(h any, base uint64) error {
 		// syscalls can fail with EINTR/EAGAIN/ENOMEM/EMFILE; robust
 		// init code re-issues them like the libc wrappers do.
 		for tries := 0; ; tries++ {
-			ret, err := k.CallGuest(t, gate, a)
+			ret, err := k.CallGuestInfra(t, gate, a)
 			if err != nil {
 				return ret, err
 			}
@@ -263,6 +263,7 @@ func (z *Zpoline) rewriteLoadedCode(k *kernel.Kernel, p *kernel.Process, t *kern
 	if st.bitmap != nil {
 		st.stats.MemReservedBytes = st.bitmap.ReservedBytes()
 		st.stats.MemResidentBytes = st.bitmap.ResidentBytes()
+		k.EmitGuardMem(p, "bitmap", st.stats.MemReservedBytes, st.stats.MemResidentBytes)
 	}
 	return nil
 }
@@ -275,12 +276,13 @@ func (z *Zpoline) rewriteSite(k *kernel.Kernel, p *kernel.Process, t *kernel.Thr
 	if _, err := p.AS.KLoad(addr, 2); err != nil {
 		return nil
 	}
-	if !st.truth[addr] {
+	genuine := st.truth[addr]
+	if !genuine {
 		// Static disassembly desync: zpoline cannot tell that this is
 		// embedded data or a partial instruction — it rewrites anyway,
 		// corrupting code or data (P3a). The ground-truth set (which
 		// zpoline does not have in reality) only feeds this damage
-		// counter, never behaviour.
+		// counter and the audit stream, never behaviour.
 		st.stats.Corruptions++
 	}
 
@@ -304,6 +306,11 @@ func (z *Zpoline) rewriteSite(k *kernel.Kernel, p *kernel.Process, t *kernel.Thr
 	st.sites[addr] = true
 	if st.bitmap != nil {
 		st.bitmap.Set(addr)
+	}
+	if genuine {
+		k.EmitRewrite(t, addr, "genuine")
+	} else {
+		k.EmitRewrite(t, addr, "misidentified")
 	}
 	// Restore the saved permission.
 	if _, err := sys(kernel.SysMprotect, pageAddr, span, kernel.PermToProt(perm)); err != nil {
@@ -366,10 +373,15 @@ func (z *Zpoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 	st.last[t.TID] = call
 	interpose.Observe(call)
 	if z.Config.Hook != nil {
+		origNum := call.Num
 		if ret, emulated := z.Config.Hook(call); emulated {
+			interpose.Resolve(call, call.Num, true)
 			ctx.R[cpu.RAX] = ret
 			ctx.R[cpu.R11] = 1
 			return nil
+		}
+		if call.Num != origNum {
+			interpose.Resolve(call, call.Num, false)
 		}
 		// Apply (possibly modified) number and arguments.
 		ctx.R[cpu.RAX] = call.Num
