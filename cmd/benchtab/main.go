@@ -78,7 +78,7 @@ func parseWorkers(s string) ([]int, error) {
 func main() {
 	table := flag.String("table", "", "regenerate a table: 2, 3, 5, 6, or all")
 	figure := flag.String("figure", "", "regenerate a figure's content: 1, 2, or 4")
-	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b, decodecache, obsoverhead or coverage")
+	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b, decodecache, jit, obsoverhead or coverage")
 	fleetN := flag.Int("fleet", 0, "run a fleet of N simulated machines and report scaling")
 	workersSpec := flag.String("workers", "8", "worker counts for -fleet: a number or comma list (1,2,4,8)")
 	fleetWorkload := flag.String("fleet-workload", "micro", "fleet machine type: micro (syscall loop), macro (redis server), or apps (difftest mix)")
@@ -91,7 +91,7 @@ func main() {
 	flag.Parse()
 
 	if *table == "" && *figure == "" && *claim == "" && *fleetN == 0 && !*sidecar && *chaosSweep == 0 && *chaosRepro == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|obsoverhead|coverage | -fleet N -workers W | -metrics-sidecar | -chaos-sweep N | -chaos-repro SEED")
+		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|jit|obsoverhead|coverage | -fleet N -workers W | -metrics-sidecar | -chaos-sweep N | -chaos-repro SEED")
 		os.Exit(2)
 	}
 
@@ -230,6 +230,32 @@ func main() {
 			}
 			pairs = append(pairs, [2]bench.DecodeCacheRun{macroOn, macroOff})
 			fmt.Print(bench.FormatDecodeCache(pairs))
+			return nil
+		})
+	case "jit":
+		run("Claim — trace-JIT superblock simulator speedup (E18)", func() error {
+			var pairs [][2]bench.JITRun
+			microOn, err := bench.MeasureJITMicro(3000, false)
+			if err != nil {
+				return err
+			}
+			microOff, err := bench.MeasureJITMicro(3000, true)
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, [2]bench.JITRun{microOn, microOff})
+			macroOn, err := bench.MeasureJITMacro(200, false)
+			if err != nil {
+				return err
+			}
+			macroOff, err := bench.MeasureJITMacro(200, true)
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, [2]bench.JITRun{macroOn, macroOff})
+			fmt.Print(bench.FormatJIT(pairs))
+			fmt.Println()
+			fmt.Print(bench.FormatJITEngagement([]bench.JITRun{microOn, macroOn}))
 			return nil
 		})
 	case "coverage":

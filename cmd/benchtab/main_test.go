@@ -131,6 +131,29 @@ func TestParseWorkers(t *testing.T) {
 	}
 }
 
+// TestGoldenJIT pins the deterministic half of `benchtab -claim jit`
+// (E18): the superblock-engine engagement counters — blocks compiled,
+// entries, instructions retired in blocks, coverage, bails, self-write
+// exits, evictions — on the micro and redis-like macro workloads. The
+// wall-clock speedup table (FormatJIT) is host-dependent and
+// deliberately not goldened; these counters depend only on the workload
+// and the formation heuristics, so drift means the engine's behavior
+// actually changed.
+func TestGoldenJIT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("JIT claim regeneration runs the full macro workload; skipped in -short")
+	}
+	micro, err := bench.MeasureJITMicro(3000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macro, err := bench.MeasureJITMacro(200, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "jit.golden", bench.FormatJITEngagement([]bench.JITRun{micro, macro}))
+}
+
 // TestGoldenCoverage pins the audited coverage matrices (E17): the
 // full per-syscall x per-mechanism counts, escapes by taxonomy
 // category, and TTFC for every coverage app under every coverage

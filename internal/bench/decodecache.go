@@ -39,6 +39,10 @@ func (r DecodeCacheRun) StepsPerSec() float64 {
 func MeasureDecodeCacheMicro(n int, cacheOff bool) (DecodeCacheRun, error) {
 	w := microWorld()
 	w.K.DecodeCacheOff = cacheOff
+	// Isolate the decode-cache layer: with the superblock JIT on, hot
+	// code bypasses the cache entirely and the hit-rate numbers stop
+	// describing it (bench/jit.go measures the JIT layer).
+	w.K.JITOff = true
 	start := time.Now()
 	p, err := interpose.Native{}.Launch(w, MicroPath, []string{"micro", fmt.Sprintf("%d", n)}, nil)
 	if err != nil {
@@ -60,6 +64,7 @@ func MeasureDecodeCacheMacro(requests int, cacheOff bool) (DecodeCacheRun, error
 		return DecodeCacheRun{}, err
 	}
 	w.K.DecodeCacheOff = cacheOff
+	w.K.JITOff = true // isolate the decode-cache layer (see Micro)
 	start := time.Now()
 	p, err := interpose.Native{}.Launch(w, apps.RedisPath, []string{"redis-server", "1"}, nil)
 	if err != nil {

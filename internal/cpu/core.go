@@ -211,11 +211,21 @@ type Core struct {
 	// DecodeCacheOff disables the decoded-instruction cache, forcing
 	// every fetch through the full fetch/EncodedLen/Decode path. The
 	// differential test harness uses it to prove cached and uncached
-	// execution are bit-identical.
+	// execution are bit-identical. It also disables the superblock JIT,
+	// which is layered on top of the cached world view.
 	DecodeCacheOff bool
+
+	// JITOff disables the trace-JIT superblock engine (see jit.go),
+	// forcing Run through per-instruction Step dispatch. The three-way
+	// differential battery uses it to prove jitted, cached and uncached
+	// execution are bit-identical.
+	JITOff bool
 
 	// DecodeStats counts decode cache hits, misses and invalidations.
 	DecodeStats DecodeCacheStats
+
+	// JITStats counts superblock compilation and dispatch activity.
+	JITStats JITStats
 
 	// StepTrace, if non-nil, is called once per successfully decoded
 	// instruction with the fetch address and opcode, before execution.
@@ -229,6 +239,20 @@ type Core struct {
 	// it, so own-store invalidation does not scan the whole cache.
 	dcache       map[uint64]*dcacheEntry
 	dcacheByLine map[uint64]map[uint64]struct{}
+
+	// jcache holds compiled superblocks by entry RIP; jcacheByLine maps
+	// an I-cache line number to the entry RIPs of superblocks whose code
+	// covers it (same eager-invalidation scheme as dcacheByLine). hot
+	// counts anchor visits toward the compilation threshold.
+	jcache       map[uint64]*superblock
+	jcacheByLine map[uint64]map[uint64]struct{}
+	hot          map[uint64]uint32
+
+	// jitSeq numbers superblock validation epochs: it advances at every
+	// Run quantum entry and every I-cache flush, the only two points
+	// where a fully validated superblock's lines could cease to be
+	// resident-and-current without the block being evicted.
+	jitSeq uint64
 }
 
 // NewCore returns a core bound to the given address space.
@@ -238,6 +262,9 @@ func NewCore(as *mem.AddressSpace) *Core {
 		icache:       make(map[uint64]*cacheLine),
 		dcache:       make(map[uint64]*dcacheEntry),
 		dcacheByLine: make(map[uint64]map[uint64]struct{}),
+		jcache:       make(map[uint64]*superblock),
+		jcacheByLine: make(map[uint64]map[uint64]struct{}),
+		hot:          make(map[uint64]uint32),
 	}
 }
 
@@ -253,11 +280,15 @@ func (c *Core) FlushICache() {
 	for k := range c.icache {
 		delete(c.icache, k)
 	}
+	// Superblocks, like the decode cache, survive the flush but must
+	// revalidate (and lazily refill) their lines afterwards.
+	c.jitSeq++
 }
 
 // invalidateLine drops the cached line containing addr, if present, along
 // with any decoded-instruction entries whose encoding covers the line
-// (the same-core self-modifying-code rule).
+// and any superblocks whose code does (the same-core self-modifying-code
+// rule).
 func (c *Core) invalidateLine(addr uint64) {
 	line := addr / cacheLineSize
 	delete(c.icache, line)
@@ -269,6 +300,14 @@ func (c *Core) invalidateLine(addr uint64) {
 			}
 		}
 		delete(c.dcacheByLine, line)
+	}
+	if rips := c.jcacheByLine[line]; len(rips) > 0 {
+		for rip := range rips {
+			if sb, ok := c.jcache[rip]; ok {
+				c.evictBlock(sb)
+			}
+		}
+		delete(c.jcacheByLine, line)
 	}
 }
 

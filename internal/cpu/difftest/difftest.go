@@ -1,15 +1,17 @@
-// Package difftest is a differential test harness for the decoded-
-// instruction cache in internal/cpu: it runs whole workloads — every
-// internal/apps program and every internal/pitfalls PoC — once with the
-// cache enabled and once with it disabled, and asserts the two executions
-// are bit-identical: same per-step instruction trace, same kernel event
+// Package difftest is a differential test harness for the execution
+// engines in internal/cpu: it runs whole workloads — every
+// internal/apps program and every internal/pitfalls PoC — under each
+// engine mode (trace-JIT superblocks over the decode cache, decode
+// cache only, fully interpretive) and asserts the executions are
+// bit-identical: same per-step instruction trace, same kernel event
 // (syscall) sequence, same final register files, same CMC-violation
-// counts, same process output and exit status, and same final VFS state.
+// counts, same process output and exit status, and same final VFS
+// state.
 //
-// The cache is only an optimisation if this holds for everything the
-// repository can run; the P5 pitfall family executes deliberately stale
-// instruction bytes, so this is exactly the kind of optimisation that can
-// silently break the paper's semantics.
+// An engine layer is only an optimisation if this holds for everything
+// the repository can run; the P5 pitfall family executes deliberately
+// stale instruction bytes, so these are exactly the optimisations that
+// can silently break the paper's semantics.
 package difftest
 
 import (
@@ -86,17 +88,72 @@ func AppWorkloads() []Workload {
 	}
 }
 
+// Mode selects the execution-engine configuration of one run. The
+// three-way battery proves every pair bit-identical.
+type Mode int
+
+// Modes, fastest first.
+const (
+	// ModeJIT is the production default: decode cache plus trace-JIT
+	// superblocks.
+	ModeJIT Mode = iota
+	// ModeCacheOnly keeps the decode cache but disables the superblock
+	// engine (kernel.WithJITOff), isolating the JIT layer.
+	ModeCacheOnly
+	// ModeCacheOff is the fully interpretive baseline: every fetch goes
+	// through the complete fetch/EncodedLen/Decode path.
+	ModeCacheOff
+)
+
+// Modes returns all engine modes, fastest first.
+func Modes() []Mode { return []Mode{ModeJIT, ModeCacheOnly, ModeCacheOff} }
+
+func (m Mode) String() string {
+	switch m {
+	case ModeJIT:
+		return "jit"
+	case ModeCacheOnly:
+		return "cache-only"
+	case ModeCacheOff:
+		return "cache-off"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options returns the kernel options selecting this mode, for harnesses
+// (the pitfall matrix, the audit matrix) that build worlds internally.
+func (m Mode) Options() []kernel.Option {
+	switch m {
+	case ModeCacheOnly:
+		return []kernel.Option{kernel.WithJITOff(true)}
+	case ModeCacheOff:
+		return []kernel.Option{kernel.WithDecodeCacheOff(true), kernel.WithJITOff(true)}
+	default:
+		return nil
+	}
+}
+
 // Run executes one workload natively (no interposer) with the decode
-// cache enabled or disabled and returns its observable snapshot.
+// cache enabled or disabled and returns its observable snapshot. The
+// cache-on run uses the full production engine (ModeJIT).
 func Run(w Workload, cacheOff bool) (*Snapshot, error) {
 	return RunOpts(w, cacheOff)
+}
+
+// RunMode executes one workload natively under the given engine mode
+// with extra kernel options (chaos profiles, clock seeds).
+func RunMode(w Workload, m Mode, opts ...kernel.Option) (*Snapshot, error) {
+	return RunOpts(w, false, append(m.Options(), opts...)...)
 }
 
 // RunOpts is Run with extra kernel options — the chaos harness reuses
 // the snapshot machinery with kernel.WithChaos armed.
 func RunOpts(w Workload, cacheOff bool, opts ...kernel.Option) (*Snapshot, error) {
 	world := interpose.NewWorld(opts...)
-	world.K.DecodeCacheOff = cacheOff
+	if cacheOff {
+		world.K.DecodeCacheOff = true
+	}
 	apps.RegisterAll(world.Reg)
 	if err := apps.SetupFS(world.K.FS); err != nil {
 		return nil, err

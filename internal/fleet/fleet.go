@@ -89,6 +89,9 @@ type Result struct {
 	ChaosInjected uint64
 	// DecodeCache aggregates decode-cache counters over every core.
 	DecodeCache cpu.DecodeCacheStats
+	// JIT aggregates superblock-engine counters over every core (all
+	// zero when Options.JITOff disabled the engine).
+	JIT cpu.JITStats
 	// Wall is the host wall-clock time this machine took.
 	Wall time.Duration
 	// Err is a machine-level failure (spawn error, budget exhaustion,
@@ -112,6 +115,12 @@ type Options struct {
 	// Obs selects per-machine observability collectors (flight
 	// recorder, metrics, profiler). The zero value installs nothing.
 	Obs obsv.Options
+	// JITOff disables the trace-JIT superblock engine on every machine
+	// (kernel.WithJITOff), leaving only the decode cache. The observable
+	// hashes are bit-identical either way — TestFleetJITDeterminism
+	// enforces it — so this is a diagnostic/benchmark knob, not a
+	// semantic one.
+	JITOff bool
 	// Chaos, when non-nil, arms deterministic fault injection on every
 	// machine. Each machine's injector seed is derived from its own
 	// Machine.Seed xor ChaosSeed, so a fleet replays bit-identically at
@@ -293,6 +302,9 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 	// One virtual-clock second per seed step keeps the offset well clear
 	// of wrap-around while making gettimeofday visibly seed-dependent.
 	kopts := []kernel.Option{kernel.WithVClock(splitmix64(m.Seed) % (1 << 40))}
+	if opt.JITOff {
+		kopts = append(kopts, kernel.WithJITOff(true))
+	}
 	if opt.Chaos != nil {
 		kopts = append(kopts, kernel.WithChaos(splitmix64(m.Seed^opt.ChaosSeed), *opt.Chaos))
 	}
@@ -376,6 +388,7 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 	res.VFSHash = difftest.HashFS(world.K.FS)
 	res.ChaosInjected = world.K.ChaosInjected()
 	res.DecodeCache = world.K.DecodeCacheStats()
+	res.JIT = world.K.JITStats()
 	if obs != nil {
 		res.Obs = obs.Snapshot()
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"k23/internal/asm"
+	"k23/internal/cpu"
 	"k23/internal/interpose"
 	"k23/internal/obsv"
 )
@@ -168,6 +169,59 @@ func TestFleetTracingDeterminism(t *testing.T) {
 	}
 	if got := merged.Metrics.TotalSyscalls(); got != want {
 		t.Errorf("merged syscall total %d, want %d", got, want)
+	}
+}
+
+// TestFleetJITDeterminism is the fleet half of the superblock-engine
+// contract: with the JIT on (the default), per-machine results must be
+// bit-identical at workers=1 and workers=8 — under `go test -race` this
+// also proves the per-core block caches share no state — and the
+// observable hash set (trace, events, VFS, exit, steps, syscalls) must
+// equal a JIT-off fleet's exactly. Full Results deliberately do NOT
+// DeepEqual across modes: the engine-internal counters (DecodeCache,
+// JIT) differ, which the test also pins so a future refactor can't
+// quietly make the comparison vacuous.
+func TestFleetJITDeterminism(t *testing.T) {
+	machines := StandardFleet(12)
+	run := func(workers int, jitOff bool) []Result {
+		rep, err := Run(context.Background(), machines,
+			Options{Workers: workers, Hash: true, JITOff: jitOff})
+		if err != nil {
+			t.Fatalf("fleet run (workers=%d jitOff=%v): %v", workers, jitOff, err)
+		}
+		if err := rep.FirstErr(); err != nil {
+			t.Fatalf("fleet run (workers=%d jitOff=%v): %v", workers, jitOff, err)
+		}
+		return normalize(rep)
+	}
+	serial := run(1, false)
+	parallel := run(8, false)
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("machine %s (JIT on) differs between workers=1 and workers=8:\n w1: %+v\n w8: %+v",
+				serial[i].Name, serial[i], parallel[i])
+		}
+	}
+
+	interp := run(8, true)
+	var jitEngaged bool
+	for i := range serial {
+		j, s := serial[i], interp[i]
+		if j.TraceHash != s.TraceHash || j.EventHash != s.EventHash ||
+			j.VFSHash != s.VFSHash || j.Exit != s.Exit ||
+			j.Steps != s.Steps || j.Syscalls != s.Syscalls {
+			t.Errorf("machine %s: observables differ between JIT and interpreter:\n jit: %+v\ninterp: %+v",
+				j.Name, j, s)
+		}
+		if j.JIT.Entries > 0 {
+			jitEngaged = true
+		}
+		if s.JIT != (cpu.JITStats{}) {
+			t.Errorf("machine %s: JIT-off run recorded engine activity: %+v", s.Name, s.JIT)
+		}
+	}
+	if !jitEngaged {
+		t.Error("no machine entered a superblock — the JIT-mode comparison is vacuous")
 	}
 }
 

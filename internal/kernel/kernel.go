@@ -434,6 +434,12 @@ type Kernel struct {
 	// execution are bit-identical.
 	DecodeCacheOff bool
 
+	// JITOff disables the trace-JIT superblock engine on every core this
+	// kernel creates. The three-way differential battery flips it to
+	// prove jitted and interpreted execution are bit-identical (JIT is
+	// on by default, like the decode cache).
+	JITOff bool
+
 	// StepTrace, if non-nil, is installed on every core this kernel
 	// creates and receives one call per retired instruction with the
 	// executing thread's TID. The differential test harness hashes this
@@ -477,6 +483,14 @@ type Option func(*Kernel)
 // (the pitfall PoCs thread it through their constructors).
 func WithDecodeCacheOff(off bool) Option {
 	return func(k *Kernel) { k.DecodeCacheOff = off }
+}
+
+// WithJITOff disables (or re-enables) the trace-JIT superblock engine
+// on every core the kernel creates, mirroring WithDecodeCacheOff. The
+// differential harnesses use it for the jit-on/cache-on/cache-off
+// three-way battery; everything else should leave the JIT on.
+func WithJITOff(off bool) Option {
+	return func(k *Kernel) { k.JITOff = off }
 }
 
 // WithVClock seeds the kernel's virtual clock. The fleet executor uses
@@ -535,6 +549,7 @@ func (k *Kernel) NewThread(p *Process, ctx cpu.Context) *Thread {
 		State: ThreadRunnable,
 	}
 	t.Core.DecodeCacheOff = k.DecodeCacheOff
+	t.Core.JITOff = k.JITOff
 	if k.StepTrace != nil {
 		tid := t.TID
 		t.Core.StepTrace = func(rip uint64, op cpu.Op) { k.StepTrace(tid, rip, op) }
@@ -568,6 +583,18 @@ func (k *Kernel) DecodeCacheStats() cpu.DecodeCacheStats {
 	for _, p := range k.Processes() {
 		for _, t := range p.Threads {
 			s.Add(t.Core.DecodeStats)
+		}
+	}
+	return s
+}
+
+// JITStats sums the superblock-engine statistics over every thread of
+// every process.
+func (k *Kernel) JITStats() cpu.JITStats {
+	var s cpu.JITStats
+	for _, p := range k.Processes() {
+		for _, t := range p.Threads {
+			s.Add(t.Core.JITStats)
 		}
 	}
 	return s
@@ -612,7 +639,9 @@ func (t *Thread) Rebind() {
 	t.Core = cpu.NewCore(t.Proc.AS)
 	t.Core.Cycles, t.Core.Insts = old.Cycles, old.Insts
 	t.Core.DecodeCacheOff = old.DecodeCacheOff
+	t.Core.JITOff = old.JITOff
 	t.Core.DecodeStats = old.DecodeStats
+	t.Core.JITStats = old.JITStats
 	t.Core.StepTrace = old.StepTrace
 }
 
@@ -896,26 +925,46 @@ func minU64(a, b uint64) uint64 {
 
 // runThread steps t for up to quantum instructions, handling stops.
 // Returns instructions retired.
+//
+// With the sampling profiler armed the thread runs one Step at a time —
+// the JIT deopt path — because samples are taken at per-instruction
+// virtual-clock deadlines and must land on the same RIPs as interpreted
+// execution. Otherwise the quantum goes through Core.Run, which
+// dispatches hot code via superblocks; the virtual clock is advanced in
+// bulk by the retired-instruction count, which is observationally
+// identical because the clock is only read at kernel entries — and a
+// stop ends the slice either way.
 func (k *Kernel) runThread(t *Thread, quantum int) uint64 {
-	var retired uint64
-	for i := 0; i < quantum; i++ {
-		if t.State != ThreadRunnable || t.Proc.State != ProcRunning {
+	if t.State != ThreadRunnable || t.Proc.State != ProcRunning {
+		return 0
+	}
+	if k.profileEvery != 0 {
+		var retired uint64
+		for i := 0; i < quantum; i++ {
+			if t.State != ThreadRunnable || t.Proc.State != ProcRunning {
+				break
+			}
+			before := t.Core.Insts
+			stop := t.Core.Step()
+			retired += t.Core.Insts - before
+			k.VClock += t.Core.Insts - before
+			k.profileTick(t)
+			if stop.Kind == cpu.StopNone {
+				continue
+			}
+			k.handleStop(t, stop)
+			// A stop ends the slice: kernel entries are natural
+			// preemption points and serialize the core.
 			break
 		}
-		before := t.Core.Insts
-		stop := t.Core.Step()
-		retired += t.Core.Insts - before
-		k.VClock += t.Core.Insts - before
-		if k.profileEvery != 0 {
-			k.profileTick(t)
-		}
-		if stop.Kind == cpu.StopNone {
-			continue
-		}
+		return retired
+	}
+	before := t.Core.Insts
+	stop := t.Core.Run(quantum)
+	retired := t.Core.Insts - before
+	k.VClock += retired
+	if stop.Kind != cpu.StopNone {
 		k.handleStop(t, stop)
-		// A stop ends the slice: kernel entries are natural preemption
-		// points and serialize the core.
-		break
 	}
 	return retired
 }
