@@ -154,6 +154,19 @@ func TestGoldenJIT(t *testing.T) {
 	checkGolden(t, "jit.golden", bench.FormatJITEngagement([]bench.JITRun{micro, macro}))
 }
 
+// TestGoldenRR pins `benchtab -claim rr` (E19): the checkpoint-interval
+// sweep over the redis-like workload — checkpoint counts, dirty-page
+// delta space, and the instructions a mid-run seek re-executes. Every
+// number is simulated, so drift means the recorder's checkpoint
+// placement or the seek engine actually changed.
+func TestGoldenRR(t *testing.T) {
+	rows, err := bench.MeasureRR([]uint64{10_000, 30_000, 100_000, 250_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "rr.golden", bench.FormatRR(rows))
+}
+
 // TestGoldenCoverage pins the audited coverage matrices (E17): the
 // full per-syscall x per-mechanism counts, escapes by taxonomy
 // category, and TTFC for every coverage app under every coverage

@@ -100,6 +100,12 @@ func main() {
 	stats := flag.Bool("stats", false, "print interposition statistics")
 	chaosSeed := flag.Uint64("chaos", 0,
 		"arm deterministic fault injection with this seed (0 = off); perturbations appear in the trace as chaos events")
+	recordOut := flag.String("record", "", "record the run's nondeterminism frontier, event stream and checkpoints as JSONL to FILE (replay with -replay)")
+	replayIn := flag.String("replay", "", "replay the recording in FILE instead of running PROG; verifies bit-identical re-execution")
+	untilSeqs := flag.String("until", "", "after the run, seek to these comma-separated event ordinals from the nearest checkpoint (use the seq column of -audit-json escapes)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint interval in virtual ticks for -record/-replay (0 = default)")
+	seed := flag.Uint64("seed", 1, "world seed for -record (derives the virtual clock and server payloads)")
+	requests := flag.Int("requests", 10, "requests per injected connection for server workloads under -record")
 	list := flag.Bool("list", false, "list interposer variants")
 	flag.Parse()
 
@@ -114,21 +120,37 @@ func main() {
 		return
 	}
 	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: k23 [-variant NAME] [-trace] [-stats] [-metrics FILE] [-profile FILE] PROG [ARGS...]")
-		os.Exit(2)
+	var path string
+	var argv []string
+	if *replayIn == "" {
+		if len(args) == 0 {
+			fmt.Fprintln(os.Stderr, "usage: k23 [-variant NAME] [-trace] [-stats] [-metrics FILE] [-profile FILE] [-record FILE | -replay FILE [-until S,...]] PROG [ARGS...]")
+			os.Exit(2)
+		}
+		var ok bool
+		path, _, ok = resolveProg(args[0])
+		if !ok {
+			fmt.Fprintf(os.Stderr, "k23: unknown program %q\n", args[0])
+			os.Exit(2)
+		}
+		argv = defaultArgs(path, args)
 	}
-	path, _, ok := resolveProg(args[0])
-	if !ok {
-		fmt.Fprintf(os.Stderr, "k23: unknown program %q\n", args[0])
-		os.Exit(2)
-	}
-	argv := defaultArgs(path, args)
 
 	spec, ok := variants.ByName(*variant)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "k23: unknown variant %q (try -list)\n", *variant)
 		os.Exit(2)
+	}
+
+	if *recordOut != "" || *replayIn != "" {
+		c := rrCLI{
+			recordOut: *recordOut, replayIn: *replayIn, until: *untilSeqs,
+			variant: *variant, seed: *seed, chaosSeed: *chaosSeed,
+			ckptEvery: *ckptEvery, requests: *requests,
+			trace: *trace, stats: *stats,
+			audit: *auditFlag, auditJSON: *auditJSON, ring: *ringSize,
+		}
+		os.Exit(c.run(path, argv))
 	}
 
 	// Derive the observability options from the requested outputs: any

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"k23/internal/apps"
+	"k23/internal/interpose"
+	"k23/internal/kernel"
+	"k23/internal/obsv"
+	"k23/internal/rr"
+)
+
+// rrCLI carries the record/replay flags out of main.
+type rrCLI struct {
+	recordOut string // -record FILE
+	replayIn  string // -replay FILE
+	until     string // -until S1,S2,...
+	variant   string
+	seed      uint64
+	chaosSeed uint64
+	ckptEvery uint64
+	requests  int
+	trace     bool
+	stats     bool
+	audit     bool
+	auditJSON string
+	ring      int
+}
+
+// isServerApp marks the workloads driven by an injected connection.
+func isServerApp(path string) bool {
+	return path == apps.NginxPath || path == apps.LighttpdPath || path == apps.RedisPath
+}
+
+// run drives a record or replay session and returns the process exit
+// status. Observability attaches via the session's BeforeLaunch hook so
+// it lands after any offline phase — the same attach point the plain
+// path uses — and never perturbs the recorded schedule.
+func (c rrCLI) run(path string, argv []string) int {
+	var obs, auditObs *obsv.Observer
+	hooks := rr.Hooks{BeforeLaunch: func(w *interpose.World) {
+		if c.trace {
+			obs = obsv.New(obsv.Options{Trace: true, RingSize: c.ring})
+			obs.Install(w.K)
+		}
+		if c.audit || c.auditJSON != "" {
+			auditObs = obsv.New(obsv.Options{Audit: true})
+			auditObs.Install(w.K)
+		}
+	}}
+
+	var s *rr.Session
+	if c.replayIn != "" {
+		f, err := os.Open(c.replayIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: replay:", err)
+			return 1
+		}
+		rec, err := rr.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: replay:", err)
+			return 1
+		}
+		s, err = rr.Replay(rec, hooks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: replay:", err)
+			return 1
+		}
+	} else {
+		spec := rr.RunSpec{
+			Name: argv[0], Mechanism: c.variant,
+			Path: path, Argv: argv,
+			Server: isServerApp(path), Requests: c.requests,
+			Seed: c.seed, CheckpointEvery: c.ckptEvery,
+		}
+		if c.chaosSeed != 0 {
+			prof := kernel.DefaultChaosProfile()
+			spec.Chaos = &prof
+			spec.ChaosSeed = c.chaosSeed
+		}
+		var err error
+		s, err = rr.Record(spec, hooks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: record:", err)
+			return 1
+		}
+	}
+
+	if err := s.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "k23: run:", err)
+		return 1
+	}
+	p := s.P
+	os.Stdout.Write(p.Stdout)
+	os.Stderr.Write(p.Stderr)
+	fmt.Fprintf(os.Stderr, "[%s] %s\n", s.Launcher().Name(), p.Exit)
+	fmt.Fprintf(os.Stderr, "[rr] %d events, %d checkpoints, trace %#x event %#x vfs %#x\n",
+		s.Rec.Final.Events, s.NumCheckpoints(),
+		s.Rec.Final.TraceHash, s.Rec.Final.EventHash, s.Rec.Final.VFSHash)
+
+	exitStatus := 0
+	if c.replayIn != "" {
+		if i, diverged := s.Diverged(); diverged {
+			fmt.Fprintf(os.Stderr, "[rr] replay DIVERGED at checkpoint %d of %d\n", i, s.NumCheckpoints())
+			if d := rr.Bisect(s.ReplayOf(), s.Rec); d != nil {
+				fmt.Fprintf(os.Stderr, "[rr] bisect: %s\n", d)
+			}
+			exitStatus = 3
+		} else {
+			fmt.Fprintln(os.Stderr, "[rr] replay bit-identical to the recording")
+		}
+	}
+
+	if c.stats {
+		st := s.Launcher().Stats(p)
+		fmt.Fprintf(os.Stderr, "interposed: %d ptrace, %d rewritten, %d sud; %d sites rewritten\n",
+			st.Ptraced, st.Rewritten, st.SUD, st.Sites)
+	}
+	if obs != nil && c.trace {
+		_ = obsv.WriteStrace(os.Stderr, obs.Snapshot().Trace)
+	}
+	if auditObs != nil {
+		audit := auditObs.Snapshot().Audit
+		if c.audit {
+			fmt.Fprintf(os.Stderr, "[audit] ground-truth coverage report under %s:\n", s.Launcher().Name())
+			audit.Format(os.Stderr)
+		}
+		if c.auditJSON != "" {
+			writeFile(c.auditJSON, "audit JSONL", func(f *os.File) error {
+				return audit.WriteJSONL(f)
+			})
+		}
+	}
+
+	if c.recordOut != "" {
+		f, err := os.Create(c.recordOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: record:", err)
+			return 1
+		}
+		if err := s.Rec.WriteJSONL(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "k23: record:", err)
+			return 1
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "[rr] recording written to %s\n", c.recordOut)
+	}
+
+	// Time-travel: seek to each requested event ordinal from the nearest
+	// checkpoint at or below it, reporting how much re-execution that
+	// cost versus a replay from tick 0.
+	if c.until != "" {
+		for _, tok := range strings.Split(c.until, ",") {
+			target, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "k23: -until: bad seq %q\n", tok)
+				return 2
+			}
+			sk, err := s.SeekSeq(target)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "k23: seek:", err)
+				return 1
+			}
+			from := fmt.Sprintf("restored checkpoint %d", sk.From)
+			if sk.From < 0 {
+				from = "replayed launch from tick 0"
+			}
+			fmt.Fprintf(os.Stderr, "[rr] seek seq=%d: %s, re-executed %d of %d steps (vclock %d)\n",
+				sk.Target, from, sk.ReExecuted, s.Rec.Final.Steps, sk.VClock)
+		}
+	}
+	return exitStatus
+}

@@ -9,10 +9,17 @@
 // `k23 -audit-json`): typed records, known escape categories, exactly
 // one summary whose escape total matches the escape records.
 //
+// With -rr it validates record/replay recordings (as written by
+// `k23 -record`): versioned header, payload digest, strictly
+// increasing event ordinals, ordered checkpoint metadata, monotone
+// chaos decisions, and a final record whose counts and event-stream
+// hash match the stream (edited event lines are rejected).
+//
 // Usage:
 //
 //	obsvcheck FILE...        validate each trace file
 //	obsvcheck -audit FILE... validate each audit report
+//	obsvcheck -rr FILE...    validate each rr recording
 //	obsvcheck -              validate stdin
 package main
 
@@ -24,7 +31,23 @@ import (
 
 	"k23/internal/audit"
 	"k23/internal/obsv"
+	"k23/internal/rr"
 )
+
+// checkRR validates one rr recording stream.
+func checkRR(name string, r io.Reader) bool {
+	rec, err := rr.ReadJSONL(r)
+	if err == nil {
+		err = rec.Validate()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsvcheck: %s: %v\n", name, err)
+		return false
+	}
+	fmt.Printf("%s: recording OK (%d events, %d checkpoints, %d chaos decisions)\n",
+		name, len(rec.Events), len(rec.Checkpoints), len(rec.Chaos))
+	return true
+}
 
 func check(name string, r io.Reader, auditMode bool) bool {
 	var (
@@ -46,16 +69,23 @@ func check(name string, r io.Reader, auditMode bool) bool {
 
 func main() {
 	auditMode := flag.Bool("audit", false, "validate audit-report JSONL instead of flight-recorder traces")
+	rrMode := flag.Bool("rr", false, "validate record/replay recording JSONL instead of flight-recorder traces")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit] FILE... | obsvcheck [-audit] -")
+	if len(args) == 0 || (*auditMode && *rrMode) {
+		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit|-rr] FILE... | obsvcheck [-audit|-rr] -")
 		os.Exit(2)
+	}
+	validate := func(name string, r io.Reader) bool {
+		if *rrMode {
+			return checkRR(name, r)
+		}
+		return check(name, r, *auditMode)
 	}
 	ok := true
 	for _, a := range args {
 		if a == "-" {
-			ok = check("stdin", os.Stdin, *auditMode) && ok
+			ok = validate("stdin", os.Stdin) && ok
 			continue
 		}
 		f, err := os.Open(a)
@@ -64,7 +94,7 @@ func main() {
 			ok = false
 			continue
 		}
-		ok = check(a, f, *auditMode) && ok
+		ok = validate(a, f) && ok
 		f.Close()
 	}
 	if !ok {

@@ -390,6 +390,7 @@ func (a *Auditor) handleOracle(e *kernel.Event) {
 			Name:     a.name(e.Num),
 			Site:     e.Site,
 			Clock:    e.Clock,
+			Seq:      e.Seq,
 			Excerpt:  a.excerpt(),
 		})
 	}

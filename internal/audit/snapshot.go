@@ -28,6 +28,7 @@ type LedgerEntry struct {
 	Name     string   `json:"name"`
 	Site     uint64   `json:"site"`
 	Clock    uint64   `json:"clock"`
+	Seq      uint64   `json:"seq"`
 	Excerpt  []string `json:"excerpt"`
 }
 

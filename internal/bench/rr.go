@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"k23/internal/apps"
+	"k23/internal/rr"
+)
+
+// RRRun is one point of the E19 checkpoint-interval sweep: record the
+// redis-like server at a given interval and measure the space the
+// checkpoint chain costs (pages copied vs shared across all deltas)
+// against the time a mid-run seek saves (instructions re-executed from
+// the nearest checkpoint vs a replay from tick 0). Every number is
+// derived from the deterministic simulation, so the table goldens.
+type RRRun struct {
+	Interval    uint64
+	Checkpoints int
+	// PagesCopied / PagesShared sum the dirty-page-delta counters over
+	// the whole checkpoint chain.
+	PagesCopied int
+	PagesShared int
+	// TotalSteps is the run length in retired guest instructions.
+	TotalSteps uint64
+	// MidSeekSteps / TailSeekSteps count the instructions SeekSeq
+	// re-executed to reach the run's middle and final event ordinals;
+	// TotalSteps is the replay-from-0 baseline both beat. The tail seek
+	// is the one that scales with the interval: its cost is the distance
+	// from the last checkpoint to the end of the run.
+	MidSeekSteps  uint64
+	TailSeekSteps uint64
+}
+
+// MeasureRR sweeps the checkpoint interval over the redis-like workload
+// with a fixed seed.
+func MeasureRR(intervals []uint64) ([]RRRun, error) {
+	var out []RRRun
+	for _, every := range intervals {
+		spec := rr.RunSpec{
+			Name: "redis", Path: apps.RedisPath, Argv: []string{"redis-server", "1"},
+			Server: true, Requests: 10,
+			Seed: 11, CheckpointEvery: every,
+		}
+		s, err := rr.Record(spec, rr.Hooks{})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+		r := RRRun{Interval: every, Checkpoints: s.NumCheckpoints(), TotalSteps: s.Rec.Final.Steps}
+		for _, c := range s.Rec.Checkpoints {
+			r.PagesCopied += c.PagesCopied
+			r.PagesShared += c.PagesShared
+		}
+		mid := s.Rec.Events[len(s.Rec.Events)/2].Seq
+		if mid < s.Rec.Checkpoints[0].Seq {
+			mid = s.Rec.Checkpoints[0].Seq
+		}
+		sk, err := s.SeekSeq(mid)
+		if err != nil {
+			return nil, err
+		}
+		r.MidSeekSteps = sk.ReExecuted
+		tail, err := s.SeekSeq(s.Rec.Events[len(s.Rec.Events)-1].Seq)
+		if err != nil {
+			return nil, err
+		}
+		r.TailSeekSteps = tail.ReExecuted
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatRR renders the E19 sweep.
+func FormatRR(rows []RRRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %-12s %-12s %-12s %-10s %-11s %s\n",
+		"interval", "ckpts", "pages-copied", "pages-shared", "total-steps", "mid-seek", "tail-seek", "tail-saving")
+	for _, r := range rows {
+		saving := "-"
+		if r.TotalSteps > 0 {
+			saving = fmt.Sprintf("%.1f%%", 100*(1-float64(r.TailSeekSteps)/float64(r.TotalSteps)))
+		}
+		fmt.Fprintf(&b, "%-10d %-6d %-12d %-12d %-12d %-10d %-11d %s\n",
+			r.Interval, r.Checkpoints, r.PagesCopied, r.PagesShared, r.TotalSteps, r.MidSeekSteps, r.TailSeekSteps, saving)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package cpu
+
+import "k23/internal/mem"
+
+// Checkpoint support. A core's architectural state — registers, PKRU,
+// TLS, retirement counters, and crucially the instruction cache — can
+// be snapshotted and restored in place.
+//
+// The I-cache is architectural here, not an optimisation: the P5
+// pitfall family executes deliberately stale line contents, so a
+// restored core must resume with exactly the lines (and fill-time
+// generations) it had, or post-restore execution diverges from the
+// recorded run. The decode cache and the superblock JIT, by contrast,
+// are proven semantically transparent by the difftest battery, so a
+// restore simply drops them cold — they refill on demand with no
+// observable effect beyond their own statistics counters.
+
+// ICacheLine is the exported snapshot of one resident I-cache line.
+type ICacheLine struct {
+	Base uint64
+	Gen  uint64
+	Data [cacheLineSize]byte
+}
+
+// CoreState is the architectural snapshot of a core.
+type CoreState struct {
+	Ctx  Context
+	PKRU mem.PKRU
+	TLS  uint64
+
+	Cycles        uint64
+	Insts         uint64
+	CMCViolations uint64
+	LastCMC       *CMCEvent
+
+	DecodeStats DecodeCacheStats
+	JITStats    JITStats
+
+	ICache []ICacheLine
+}
+
+// SnapshotState captures the core's architectural state.
+func (c *Core) SnapshotState() CoreState {
+	s := CoreState{
+		Ctx:           c.Ctx,
+		PKRU:          c.PKRU,
+		TLS:           c.TLS,
+		Cycles:        c.Cycles,
+		Insts:         c.Insts,
+		CMCViolations: c.CMCViolations,
+		DecodeStats:   c.DecodeStats,
+		JITStats:      c.JITStats,
+	}
+	if c.LastCMC != nil {
+		ev := CMCEvent{
+			Addr:   c.LastCMC.Addr,
+			Cached: append([]byte(nil), c.LastCMC.Cached...),
+			Fresh:  append([]byte(nil), c.LastCMC.Fresh...),
+		}
+		s.LastCMC = &ev
+	}
+	for _, line := range c.icache {
+		s.ICache = append(s.ICache, ICacheLine{Base: line.base, Gen: line.gen, Data: line.data})
+	}
+	return s
+}
+
+// RestoreState rewinds the core to the snapshot, in place: the Core
+// keeps its identity (the kernel's thread holds the pointer, and the
+// StepTrace hook, cache-off flags and AS binding are live configuration
+// owned by the caller). The I-cache is rebuilt exactly; the decode and
+// superblock caches restart cold, with their epoch advanced so no stale
+// compiled state can be considered validated.
+func (c *Core) RestoreState(s CoreState) {
+	c.Ctx = s.Ctx
+	c.PKRU = s.PKRU
+	c.TLS = s.TLS
+	c.Cycles = s.Cycles
+	c.Insts = s.Insts
+	c.CMCViolations = s.CMCViolations
+	c.LastCMC = nil
+	if s.LastCMC != nil {
+		ev := CMCEvent{
+			Addr:   s.LastCMC.Addr,
+			Cached: append([]byte(nil), s.LastCMC.Cached...),
+			Fresh:  append([]byte(nil), s.LastCMC.Fresh...),
+		}
+		c.LastCMC = &ev
+	}
+	c.DecodeStats = s.DecodeStats
+	c.JITStats = s.JITStats
+
+	c.icache = make(map[uint64]*cacheLine, len(s.ICache))
+	for _, line := range s.ICache {
+		cl := &cacheLine{base: line.Base, gen: line.Gen}
+		cl.data = line.Data
+		c.icache[line.Base/cacheLineSize] = cl
+	}
+	c.dcache = make(map[uint64]*dcacheEntry)
+	c.dcacheByLine = make(map[uint64]map[uint64]struct{})
+	c.jcache = make(map[uint64]*superblock)
+	c.jcacheByLine = make(map[uint64]map[uint64]struct{})
+	c.hot = make(map[uint64]uint32)
+	c.jitSeq++
+}

@@ -28,6 +28,7 @@ import (
 	"k23/internal/interpose"
 	"k23/internal/kernel"
 	"k23/internal/obsv"
+	"k23/internal/rr"
 )
 
 // Machine describes one simulated machine: a program to boot and the
@@ -102,6 +103,10 @@ type Result struct {
 	// collector. Each machine owns its Observer — the no-shared-state
 	// invariant — and snapshots are merged only at report time.
 	Obs *obsv.Snapshot
+	// Recording is the machine's replayable record (frontier, event
+	// stream, checkpoints, final state), nil unless Options.Record was
+	// set. Feed it to rr.Replay or write it out with rr.WriteJSONL.
+	Recording *rr.Recording
 }
 
 // Options configures a fleet run.
@@ -129,6 +134,19 @@ type Options struct {
 	Chaos *kernel.ChaosProfile
 	// ChaosSeed salts the per-machine chaos seed derivation.
 	ChaosSeed uint64
+	// Record captures each machine as a replayable recording
+	// (Result.Recording). Recorded machines are driven by the rr
+	// engine's canonical run slicing — the schedule a later replay
+	// reproduces — so for multi-threaded guests the hashes of a
+	// recorded fleet are self-consistent but need not match an
+	// unrecorded run of the same machines. The frontier derivations
+	// (virtual clock, payload, chaos seed) are shared with the normal
+	// path, and trace hashing is always on under Record. Machines with
+	// a custom Setup cannot be recorded and report an error.
+	Record bool
+	// CheckpointEvery is the recorded checkpoint interval in virtual
+	// ticks (0 = the rr default); only meaningful with Record.
+	CheckpointEvery uint64
 }
 
 // Report aggregates a fleet run.
@@ -298,6 +316,10 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 		res.Err = err.Error()
 		return res
 	}
+	if opt.Record {
+		runRecorded(m, opt, &res)
+		return res
+	}
 
 	// One virtual-clock second per seed step keeps the offset well clear
 	// of wrap-around while making gettimeofday visibly seed-dependent.
@@ -398,6 +420,56 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 		}
 	}
 	return res
+}
+
+// runRecorded drives one machine through the rr engine, producing a
+// replayable recording alongside the usual result fields. The rr
+// session owns scheduling (its canonical slices are what a replay will
+// reproduce); the fleet keeps ownership of worker placement and
+// reporting.
+func runRecorded(m Machine, opt Options, res *Result) {
+	if m.Setup != nil {
+		res.Err = "record: custom Setup not supported"
+		return
+	}
+	spec := rr.RunSpec{
+		Name: m.Name, Path: m.Path, Argv: m.Argv, Env: m.Env,
+		Server: m.Server, Requests: m.Requests,
+		Seed: m.Seed, MaxInsts: m.MaxInsts,
+		Chaos: opt.Chaos, ChaosSeed: opt.ChaosSeed,
+		CheckpointEvery: opt.CheckpointEvery,
+	}
+	var obs *obsv.Observer
+	hooks := rr.Hooks{}
+	if opt.Obs.Enabled() {
+		hooks.BeforeLaunch = func(w *interpose.World) {
+			obs = obsv.New(opt.Obs)
+			obs.Install(w.K)
+		}
+	}
+	s, err := rr.Record(spec, hooks)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	if err := s.Run(); err != nil {
+		res.Err = err.Error()
+		return
+	}
+	f := s.Rec.Final
+	res.Recording = s.Rec
+	res.TraceHash = f.TraceHash
+	res.EventHash = f.EventHash
+	res.VFSHash = f.VFSHash
+	res.Steps = f.Steps
+	res.Syscalls = f.Syscalls
+	res.Exit = kernel.ExitInfo{Code: f.ExitCode, Signal: f.ExitSignal}
+	res.ChaosInjected = f.ChaosInjected
+	res.DecodeCache = s.W.K.DecodeCacheStats()
+	res.JIT = s.W.K.JITStats()
+	if obs != nil {
+		res.Obs = obs.Snapshot()
+	}
 }
 
 // inject waits for the server to listen and queues one keepalive

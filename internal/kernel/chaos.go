@@ -56,12 +56,48 @@ func (p ChaosProfile) Enabled() bool {
 	return p.BlockEINTR != 0 || p.ShortRead != 0 || p.ShortWrite != 0 || p.Transient != 0
 }
 
+// Chaos decision kinds, as they appear in recordings.
+const (
+	ChaosKindEINTR      = "eintr"
+	ChaosKindShortRead  = "short-read"
+	ChaosKindShortWrite = "short-write"
+	ChaosKindTransient  = "transient"
+)
+
+// ChaosDecision records one injected perturbation as part of the
+// replayable nondeterminism frontier: Q is the 1-based ordinal of the
+// injector query that fired (queries that rolled and missed advance the
+// ordinal without producing a decision), Kind names the perturbation,
+// and Val carries its drawn value — the short-read/write prefix length,
+// or the injected errno. A run replayed under WithChaosScript with the
+// recorded decision list reproduces the exact perturbation schedule
+// without ever touching the seed stream.
+type ChaosDecision struct {
+	Q    uint64 `json:"q"`
+	Kind string `json:"kind"`
+	Val  uint64 `json:"val"`
+}
+
 // chaosState is the per-kernel injector: a splitmix64 stream plus the
-// profile and a count of perturbations performed.
+// profile, a count of perturbations performed, and the decision log.
+// In scripted mode (WithChaosScript) the seed stream is never rolled:
+// each query consumes the front of the script if its ordinal and kind
+// match, which replays a recorded frontier exactly.
 type chaosState struct {
 	seed     uint64
 	prof     ChaosProfile
 	injected uint64
+
+	// q counts injector queries (decide calls); hits logs the decisions
+	// that fired, in query order.
+	q    uint64
+	hits []ChaosDecision
+
+	// scripted selects replay mode: decisions come from script, not the
+	// seed stream.
+	scripted  bool
+	script    []ChaosDecision
+	scriptIdx int
 }
 
 // WithChaos arms deterministic fault injection with the given seed and
@@ -74,6 +110,36 @@ func WithChaos(seed uint64, prof ChaosProfile) Option {
 		}
 		k.chaos = &chaosState{seed: seed, prof: prof}
 	}
+}
+
+// WithChaosScript arms the injector in replay mode: perturbations are
+// driven by a recorded decision list instead of a seed stream. prof
+// must be the profile the recording ran under — the profile gates which
+// code points query the injector at all (a rate of 0 short-circuits
+// decide), so replaying under a different profile would misalign the
+// query ordinals. An empty script with an enabled profile is valid: the
+// replayed run simply injects nothing, while still counting queries.
+func WithChaosScript(prof ChaosProfile, script []ChaosDecision) Option {
+	return func(k *Kernel) {
+		if !prof.Enabled() {
+			return
+		}
+		k.chaos = &chaosState{
+			prof:     prof,
+			scripted: true,
+			script:   append([]ChaosDecision(nil), script...),
+		}
+	}
+}
+
+// ChaosDecisions returns the decision log so far — the dynamic half of
+// the chaos frontier (nil when chaos is off). The returned slice is the
+// live log; callers must not mutate it.
+func (k *Kernel) ChaosDecisions() []ChaosDecision {
+	if k.chaos == nil {
+		return nil
+	}
+	return k.chaos.hits
 }
 
 // ChaosInjected returns the number of perturbations injected so far
@@ -95,33 +161,62 @@ func (c *chaosState) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// hit rolls once against a per-1024 rate.
-func (c *chaosState) hit(rate uint32) bool {
+// decide is the single injector query point. rate gates eligibility: a
+// profile rate of 0 disables the code point entirely and does not count
+// as a query, so the query ordinal q advances identically in rolled and
+// scripted runs of the same profile. In rolled mode it rolls the seed
+// stream and, on a hit, draws the perturbation value (draw keeps the
+// roll/draw order of the original implementation, so pre-existing chaos
+// streams replay bit-identically). In scripted mode the seed stream is
+// never touched: a query fires iff the front of the script names its
+// ordinal and kind.
+func (c *chaosState) decide(rate uint32, kind string, draw func() uint64) (bool, uint64) {
 	if rate == 0 {
-		return false
+		return false, 0
 	}
-	return uint32(c.next()&1023) < rate
+	c.q++
+	if c.scripted {
+		if c.scriptIdx < len(c.script) {
+			d := c.script[c.scriptIdx]
+			if d.Q == c.q && d.Kind == kind {
+				c.scriptIdx++
+				c.hits = append(c.hits, d)
+				return true, d.Val
+			}
+		}
+		return false, 0
+	}
+	if uint32(c.next()&1023) >= rate {
+		return false, 0
+	}
+	var val uint64
+	if draw != nil {
+		val = draw()
+	}
+	c.hits = append(c.hits, ChaosDecision{Q: c.q, Kind: kind, Val: val})
+	return true, val
 }
 
 // transientErrno rolls for an entry-time transient failure of nr.
 // Only syscalls whose Linux counterparts fail transiently are eligible,
 // each with its idiomatic errno.
 func (c *chaosState) transientErrno(nr uint64) int {
+	var e int
 	switch nr {
 	case SysRead, SysRecvfrom, SysWrite, SysSendto:
-		if c.hit(c.prof.Transient) {
-			return EAGAIN
-		}
+		e = EAGAIN
 	case SysMmap:
-		if c.hit(c.prof.Transient) {
-			return ENOMEM
-		}
+		e = ENOMEM
 	case SysOpen, SysOpenat, SysSocket, SysAccept, SysAccept4:
-		if c.hit(c.prof.Transient) {
-			return EMFILE
-		}
+		e = EMFILE
+	default:
+		return 0
 	}
-	return 0
+	hit, _ := c.decide(c.prof.Transient, ChaosKindTransient, func() uint64 { return uint64(e) })
+	if !hit {
+		return 0
+	}
+	return e
 }
 
 // IsTransient reports whether e is an errno robust host-side logic
@@ -167,7 +262,11 @@ func (k *Kernel) emitChaos(t *Thread, nr uint64, detail func() string) {
 // the compressed form of "a signal arrived, its handler ran, the call
 // was not restarted".
 func (k *Kernel) chaosBlockEINTR(t *Thread, nr uint64) bool {
-	if k.chaos == nil || t.entryLen == 0 || !k.chaos.hit(k.chaos.prof.BlockEINTR) {
+	if k.chaos == nil || t.entryLen == 0 {
+		return false
+	}
+	hit, _ := k.chaos.decide(k.chaos.prof.BlockEINTR, ChaosKindEINTR, nil)
+	if !hit {
 		return false
 	}
 	k.emitChaos(t, nr, func() string { return "EINTR wakeup at would-block" })
@@ -177,10 +276,16 @@ func (k *Kernel) chaosBlockEINTR(t *Thread, nr uint64) bool {
 // chaosShortRead rolls for a short read, returning a non-empty prefix of
 // chunk.
 func (k *Kernel) chaosShortRead(t *Thread, chunk []byte) []byte {
-	if k.chaos == nil || t.entryLen == 0 || len(chunk) < 2 || !k.chaos.hit(k.chaos.prof.ShortRead) {
+	if k.chaos == nil || t.entryLen == 0 || len(chunk) < 2 {
 		return chunk
 	}
-	n := 1 + int(k.chaos.next()%uint64(len(chunk)-1))
+	c := k.chaos
+	hit, val := c.decide(c.prof.ShortRead, ChaosKindShortRead,
+		func() uint64 { return 1 + c.next()%uint64(len(chunk)-1) })
+	if !hit {
+		return chunk
+	}
+	n := clampPrefix(val, len(chunk))
 	k.emitChaos(t, SysRead, func() string { return fmt.Sprintf("short read %d of %d", n, len(chunk)) })
 	return chunk[:n]
 }
@@ -188,10 +293,31 @@ func (k *Kernel) chaosShortRead(t *Thread, chunk []byte) []byte {
 // chaosShortWrite rolls for a short write, returning the non-empty
 // prefix the kernel will consume.
 func (k *Kernel) chaosShortWrite(t *Thread, data []byte) []byte {
-	if k.chaos == nil || t.entryLen == 0 || len(data) < 2 || !k.chaos.hit(k.chaos.prof.ShortWrite) {
+	if k.chaos == nil || t.entryLen == 0 || len(data) < 2 {
 		return data
 	}
-	n := 1 + int(k.chaos.next()%uint64(len(data)-1))
+	c := k.chaos
+	hit, val := c.decide(c.prof.ShortWrite, ChaosKindShortWrite,
+		func() uint64 { return 1 + c.next()%uint64(len(data)-1) })
+	if !hit {
+		return data
+	}
+	n := clampPrefix(val, len(data))
 	k.emitChaos(t, SysWrite, func() string { return fmt.Sprintf("short write %d of %d", n, len(data)) })
 	return data[:n]
+}
+
+// clampPrefix bounds a scripted prefix length to a valid non-empty
+// prefix. On a faithful replay the recorded value is already in range;
+// the clamp only keeps a corrupted or mismatched script from panicking
+// the slice below (the divergence then shows up in the trace hash,
+// where the bisector can localize it).
+func clampPrefix(val uint64, n int) int {
+	if val < 1 {
+		return 1
+	}
+	if val >= uint64(n) {
+		return n - 1
+	}
+	return int(val)
 }

@@ -119,6 +119,12 @@ type Thread struct {
 	sud       sudState
 	sigFrames []sigFrame
 	wake      func() bool // when State == ThreadBlocked
+	// wakeDesc is the serializable description of the wake predicate —
+	// which kernel object the thread is blocked on. Wake closures close
+	// over live conn/listener/process objects, so a checkpoint records
+	// the descriptor and Restore rebuilds the closure against the
+	// restored objects (see snapshot.go).
+	wakeDesc wakeDesc
 
 	// entryLen/entrySite describe the in-flight trap while a syscall is
 	// being serviced: entryLen is the byte length of the entry instruction
@@ -404,6 +410,7 @@ type Event struct {
 	Site     uint64    // address of the triggering instruction
 	Ret      uint64    // syscall return value (EvExit, EvFork)
 	Clock    uint64    // virtual clock at emission (latency attribution)
+	Seq      uint64    // kernel-global event ordinal (see Kernel.EventSeq)
 	Cost     uint64    // cycles charged to the thread by this call (EvExit)
 	Args     [6]uint64 // syscall arguments (EvEnter only)
 	Detail   string
@@ -463,6 +470,24 @@ type Kernel struct {
 
 	// chaos, when non-nil, is the seeded fault injector (WithChaos).
 	chaos *chaosState
+
+	// eventSeq numbers emitted events. It is stamped by the kernel (not
+	// per-observer) so every hook in the chain — the flight recorder,
+	// the auditor, the record/replay recorder — agrees on one global
+	// ordinal per event, regardless of when each observer attached.
+	// It only advances while an observer is installed (emission is
+	// guarded by Tracing()), which is identical across a recorded run
+	// and its replays.
+	eventSeq uint64
+
+	// StopAtSeq, when non-zero, asks the scheduler to return from Run at
+	// the first quantum boundary after an event with Seq >= StopAtSeq has
+	// been emitted. Execution up to the stop is byte-identical to an
+	// uninterrupted run (the stop lands between instructions and is
+	// invisible to the guest), which is what lets the rr seek engine halt
+	// a replay precisely at a target event ordinal.
+	StopAtSeq uint64
+	stopHit   bool
 
 	// VClock is a monotone virtual clock advanced as threads execute;
 	// it backs the vvar page and gettimeofday.
@@ -726,12 +751,22 @@ func (k *Kernel) TraceeRegs(t *Thread) *cpu.Context {
 // observability cost contract requires.
 func (k *Kernel) Tracing() bool { return k.EventHook != nil }
 
-// emit stamps the virtual clock onto the event and sends it to the hook.
-// Callers must have checked Tracing() first (lazy construction).
+// emit stamps the virtual clock and the global event ordinal onto the
+// event and sends it to the hook. Callers must have checked Tracing()
+// first (lazy construction).
 func (k *Kernel) emit(ev Event) {
 	ev.Clock = k.VClock
+	ev.Seq = k.eventSeq
+	k.eventSeq++
+	if k.StopAtSeq != 0 && ev.Seq >= k.StopAtSeq {
+		k.stopHit = true
+	}
 	k.EventHook(ev)
 }
+
+// EventSeq returns the number of events emitted so far — equivalently,
+// the Seq the next emitted event will carry.
+func (k *Kernel) EventSeq() uint64 { return k.eventSeq }
 
 // AddEventHook installs fn as an event observer, chaining any hook that
 // is already installed (the new hook runs first). It returns the
@@ -853,6 +888,7 @@ func (k *Kernel) threadReady(t *Thread) bool {
 		if t.wake != nil && t.wake() {
 			t.State = ThreadRunnable
 			t.wake = nil
+			t.wakeDesc = wakeDesc{}
 			return true
 		}
 		return false
@@ -882,6 +918,10 @@ func (k *Kernel) Run(maxInsts uint64) uint64 {
 				retired += n
 				if n > 0 {
 					progress = true
+				}
+				if k.stopHit {
+					k.stopHit = false
+					return retired
 				}
 				if retired >= maxInsts {
 					return retired
@@ -1108,6 +1148,7 @@ func (k *Kernel) CallGuest(t *Thread, entry uint64, args [6]uint64) (uint64, err
 				t.Core.Ctx = saved
 				t.State = savedState
 				t.wake = nil
+				t.wakeDesc = wakeDesc{}
 				return 0, ErrGuestWouldBlock
 			}
 		}

@@ -147,7 +147,7 @@ func (k *Kernel) sysAccept(t *Thread, n int) (ret uint64, blocked bool) {
 		if k.chaosBlockEINTR(t, SysAccept) {
 			return errno(EINTR), false
 		}
-		k.blockThread(t, l.pending)
+		k.blockThread(t, l.pending, wakeDesc{kind: wakeAcceptFD, arg: n})
 		return 0, true
 	}
 	c := l.backlog[0]
@@ -157,8 +157,10 @@ func (k *Kernel) sysAccept(t *Thread, n int) (ret uint64, blocked bool) {
 	return k.allocFD(p, cf), false
 }
 
-// connRead reads one request, blocking until data or EOF.
-func (k *Kernel) connRead(t *Thread, f *fd, buf, count uint64) (ret uint64, blocked bool) {
+// connRead reads one request, blocking until data or EOF. n is the fd
+// number (recorded in the wake descriptor so a checkpoint can rebuild
+// the wake closure against the restored connection).
+func (k *Kernel) connRead(t *Thread, n int, f *fd, buf, count uint64) (ret uint64, blocked bool) {
 	c := f.conn
 	if c == nil {
 		return errno(EBADF), false
@@ -167,7 +169,7 @@ func (k *Kernel) connRead(t *Thread, f *fd, buf, count uint64) (ret uint64, bloc
 		if k.chaosBlockEINTR(t, SysRead) {
 			return errno(EINTR), false
 		}
-		k.blockThread(t, c.readable)
+		k.blockThread(t, c.readable, wakeDesc{kind: wakeConnReadFD, arg: n})
 		return 0, true
 	}
 	c.maybeArm()

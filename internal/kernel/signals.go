@@ -168,9 +168,10 @@ func (k *Kernel) sysSigreturn(t *Thread) {
 // SYSCALL width: SYSENTER and rewritten call sites re-enter through
 // their own encodings. Host-initiated blocks (DirectSyscall) have
 // entryLen == 0 and leave RIP alone — there is no instruction to rerun.
-func (k *Kernel) blockThread(t *Thread, wake func() bool) {
+func (k *Kernel) blockThread(t *Thread, wake func() bool, desc wakeDesc) {
 	t.State = ThreadBlocked
 	t.wake = wake
+	t.wakeDesc = desc
 	t.blockedLen = t.entryLen
 	t.Core.Ctx.RIP -= t.entryLen
 }
@@ -186,6 +187,7 @@ func (k *Kernel) blockThread(t *Thread, wake func() bool) {
 func (k *Kernel) interruptBlockedSyscall(t *Thread, flags uint64) {
 	t.State = ThreadRunnable
 	t.wake = nil
+	t.wakeDesc = wakeDesc{}
 	if flags&SARestart == 0 && t.blockedLen != 0 {
 		if k.EventHook != nil {
 			// The aborted call logically completed with -EINTR: emit its

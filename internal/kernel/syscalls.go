@@ -595,7 +595,7 @@ func (k *Kernel) sysRead(t *Thread, n int, buf, count uint64) (ret uint64, block
 		f.off += len(chunk)
 		return uint64(len(chunk)), false
 	case fdConn:
-		return k.connRead(t, f, buf, count)
+		return k.connRead(t, n, f, buf, count)
 	default:
 		return errno(EINVAL), false
 	}
@@ -932,24 +932,11 @@ func (k *Kernel) sysExecve(t *Thread, pathAddr, argvAddr, envAddr uint64) (uint6
 
 func (k *Kernel) sysWait4(t *Thread, pid int, statusAddr uint64) (ret uint64, blocked bool) {
 	p := t.Proc
-	// Scan in PID creation order (k.order), not map order: with several
-	// zombie children, which one wait4(-1) reaps must not depend on Go's
-	// randomized map iteration, or identical runs diverge.
-	find := func() *Process {
-		for _, cpid := range k.order {
-			c, ok := k.procs[cpid]
-			if !ok {
-				continue
-			}
-			if c.Parent == p && c.State == ProcZombie {
-				if pid <= 0 || c.PID == pid {
-					return c
-				}
-			}
-		}
-		return nil
-	}
-	c := find()
+	// findZombieChild scans in PID creation order (k.order), not map
+	// order: with several zombie children, which one wait4(-1) reaps must
+	// not depend on Go's randomized map iteration, or identical runs
+	// diverge.
+	c := k.findZombieChild(p, pid)
 	if c == nil {
 		if k.chaosBlockEINTR(t, SysWait4) {
 			return errno(EINTR), false
@@ -957,7 +944,8 @@ func (k *Kernel) sysWait4(t *Thread, pid int, statusAddr uint64) (ret uint64, bl
 		// Block until a matching child exits; whether the call restarts
 		// or aborts with EINTR on a signal depends on the handler's
 		// SA_RESTART flag (interruptBlockedSyscall).
-		k.blockThread(t, func() bool { return find() != nil })
+		k.blockThread(t, func() bool { return k.findZombieChild(p, pid) != nil },
+			wakeDesc{kind: wakeWait4PID, arg: pid})
 		return 0, true
 	}
 	c.State = ProcReaped

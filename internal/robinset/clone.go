@@ -1,0 +1,9 @@
+package robinset
+
+// Clone returns an independent deep copy of the set (same table layout,
+// so Contains probes behave identically). Checkpoint/restore uses it:
+// the set's exact slot arrangement is part of the interposer's guard
+// state and must survive a snapshot round trip bit-for-bit.
+func (s *Set) Clone() *Set {
+	return &Set{slots: append([]slot(nil), s.slots...), count: s.count}
+}

@@ -1,0 +1,109 @@
+package rr
+
+import "fmt"
+
+// Divergence localizes the first difference between two recordings of
+// nominally the same run.
+type Divergence struct {
+	// LastGood is the last checkpoint index where both recordings agree
+	// (position and hashes), or -1 if they differ from checkpoint 0.
+	LastGood int
+	// FirstBad is the first disagreeing checkpoint index, or -1 when the
+	// divergence lies after the last common checkpoint (final-state-only
+	// divergence).
+	FirstBad int
+	// Seq is the ordinal of the first differing event, or the ordinal
+	// where one stream ends, localizing the divergence inside the
+	// checkpoint window.
+	Seq uint64
+	// Detail describes what differs at Seq.
+	Detail string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("divergence after checkpoint %d (first bad %d) at event seq %d: %s",
+		d.LastGood, d.FirstBad, d.Seq, d.Detail)
+}
+
+func metaEq(a, b CkptMeta) bool { return a == b }
+
+// Bisect localizes where recording b first diverges from recording a.
+// It binary-searches the shared checkpoint trajectory for the last
+// agreeing checkpoint — hash avalanche makes agreement monotone: once
+// the streams diverge every later checkpoint hash differs — then scans
+// the events of the guilty window for the first differing record.
+// Returns nil when the recordings are replay-equivalent.
+func Bisect(a, b *Recording) *Divergence {
+	n := len(a.Checkpoints)
+	if len(b.Checkpoints) < n {
+		n = len(b.Checkpoints)
+	}
+	// Binary search: find the largest index in [0,n) where the metas
+	// still agree. Invariant: agreement is a prefix property.
+	lastGood := -1
+	lo, hi := 0, n-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if metaEq(a.Checkpoints[mid], b.Checkpoints[mid]) {
+			lastGood = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	firstBad := -1
+	if lastGood+1 < n {
+		firstBad = lastGood + 1
+	} else if len(a.Checkpoints) != len(b.Checkpoints) {
+		firstBad = n
+	}
+	if firstBad < 0 && a.Final == b.Final {
+		return nil // replay-equivalent
+	}
+
+	// Scan the guilty window for the first differing event. The window
+	// starts at the last good checkpoint's event count (events before it
+	// are proven identical by the matching event hash).
+	from := 0
+	if lastGood >= 0 {
+		from = a.Checkpoints[lastGood].Events
+	}
+	for i := from; ; i++ {
+		switch {
+		case i >= len(a.Events) && i >= len(b.Events):
+			// Streams equal to their common end; the divergence is in
+			// non-event state (trace hash, VFS, exit).
+			var seq uint64
+			if len(a.Events) > 0 {
+				seq = a.Events[len(a.Events)-1].Seq
+			}
+			return &Divergence{LastGood: lastGood, FirstBad: firstBad, Seq: seq,
+				Detail: "event streams agree; divergence in non-event state (trace/VFS/exit)"}
+		case i >= len(a.Events):
+			return &Divergence{LastGood: lastGood, FirstBad: firstBad, Seq: b.Events[i].Seq,
+				Detail: fmt.Sprintf("first stream ends; second continues with %s num=%d", b.Events[i].Kind, b.Events[i].Num)}
+		case i >= len(b.Events):
+			return &Divergence{LastGood: lastGood, FirstBad: firstBad, Seq: a.Events[i].Seq,
+				Detail: fmt.Sprintf("second stream ends; first continues with %s num=%d", a.Events[i].Kind, a.Events[i].Num)}
+		case !eventEq(&a.Events[i], &b.Events[i]):
+			return &Divergence{LastGood: lastGood, FirstBad: firstBad, Seq: a.Events[i].Seq,
+				Detail: fmt.Sprintf("event %d differs: %s num=%d ret=%#x vs %s num=%d ret=%#x",
+					i, a.Events[i].Kind, a.Events[i].Num, a.Events[i].Ret,
+					b.Events[i].Kind, b.Events[i].Num, b.Events[i].Ret)}
+		}
+	}
+}
+
+func eventEq(a, b *EventRec) bool {
+	if a.Seq != b.Seq || a.PID != b.PID || a.TID != b.TID || a.Kind != b.Kind ||
+		a.Num != b.Num || a.Site != b.Site || a.Ret != b.Ret || a.Clock != b.Clock ||
+		a.Detail != b.Detail || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}

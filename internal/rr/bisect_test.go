@@ -1,0 +1,154 @@
+package rr
+
+import (
+	"testing"
+
+	"k23/internal/kernel"
+)
+
+// TestBisectHandBuilt checks window localization on synthetic
+// recordings with a known divergence point.
+func TestBisectHandBuilt(t *testing.T) {
+	mkEvents := func(n int) []EventRec {
+		out := make([]EventRec, n)
+		for i := range out {
+			out[i] = EventRec{Seq: uint64(i), Kind: "enter", Num: uint64(i % 7), Clock: uint64(100 + i)}
+		}
+		return out
+	}
+	mkCkpts := func(hashes []uint64) []CkptMeta {
+		out := make([]CkptMeta, len(hashes))
+		for i, h := range hashes {
+			out[i] = CkptMeta{Index: i, Seq: uint64(i * 10), Events: i * 10, TraceHash: h, EventHash: h}
+		}
+		return out
+	}
+
+	a := &Recording{Events: mkEvents(40), Checkpoints: mkCkpts([]uint64{1, 2, 3, 4}), Final: Final{TraceHash: 100}}
+
+	// Identical recordings: no divergence.
+	b := &Recording{Events: mkEvents(40), Checkpoints: mkCkpts([]uint64{1, 2, 3, 4}), Final: Final{TraceHash: 100}}
+	if d := Bisect(a, b); d != nil {
+		t.Fatalf("identical recordings bisected to %v", d)
+	}
+
+	// Diverge in window (2,3]: checkpoints 0-2 match, 3 differs; the
+	// first differing event is at index 25 (seq 25).
+	b = &Recording{Events: mkEvents(40), Checkpoints: mkCkpts([]uint64{1, 2, 3, 999}), Final: Final{TraceHash: 200}}
+	b.Events[25].Ret = 0xbad
+	d := Bisect(a, b)
+	if d == nil {
+		t.Fatalf("divergence not found")
+	}
+	if d.LastGood != 2 || d.FirstBad != 3 {
+		t.Fatalf("window = (%d, %d], want (2, 3]", d.LastGood, d.FirstBad)
+	}
+	if d.Seq != 25 {
+		t.Fatalf("first bad seq = %d, want 25", d.Seq)
+	}
+
+	// Divergence after the last checkpoint: all metas equal, finals
+	// differ, event 38 differs.
+	b = &Recording{Events: mkEvents(40), Checkpoints: mkCkpts([]uint64{1, 2, 3, 4}), Final: Final{TraceHash: 200}}
+	b.Events[38].Num = 99
+	d = Bisect(a, b)
+	if d == nil || d.LastGood != 3 || d.FirstBad != -1 {
+		t.Fatalf("tail divergence = %+v, want LastGood 3, FirstBad -1", d)
+	}
+	if d.Seq != 38 {
+		t.Fatalf("tail divergence seq = %d, want 38", d.Seq)
+	}
+
+	// One stream is a strict prefix of the other.
+	b = &Recording{Events: mkEvents(35), Checkpoints: mkCkpts([]uint64{1, 2, 3}), Final: Final{TraceHash: 300}}
+	d = Bisect(a, b)
+	if d == nil || d.LastGood != 2 || d.FirstBad != 3 {
+		t.Fatalf("prefix divergence = %+v, want LastGood 2, FirstBad 3", d)
+	}
+	if d.Seq != 35 {
+		t.Fatalf("prefix divergence seq = %d, want 35", d.Seq)
+	}
+}
+
+// TestBisectPlantedDivergence records a chaotic server run, replays it
+// with ONE chaos decision's value flipped — a single-bit perturbation
+// of the frontier — and asserts the bisector localizes the divergence
+// to the checkpoint window containing that decision.
+func TestBisectPlantedDivergence(t *testing.T) {
+	spec := redisSpec()
+	spec.Chaos = &kernel.ChaosProfile{ShortRead: 200, ShortWrite: 200}
+	spec.ChaosSeed = 9
+	s := record(t, spec)
+	if len(s.Rec.Chaos) < 2 {
+		t.Skipf("only %d chaos decisions; cannot plant mid-run", len(s.Rec.Chaos))
+	}
+
+	// Plant: flip one short-read/write length in the script's second
+	// half. clampPrefix keeps any value legal, so setting a length != the
+	// original guarantees a different prefix split at that decision.
+	mangled := *s.Rec
+	mangled.Chaos = append([]kernel.ChaosDecision(nil), s.Rec.Chaos...)
+	idx := -1
+	for i := len(mangled.Chaos) / 2; i < len(mangled.Chaos); i++ {
+		if mangled.Chaos[i].Val > 1 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		for i := range mangled.Chaos {
+			if mangled.Chaos[i].Val > 1 {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		t.Skip("no chaos decision with a mutable value")
+	}
+	mangled.Chaos[idx].Val = 1
+
+	r, err := Replay(&mangled, Hooks{})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if _, diverged := r.Diverged(); !diverged {
+		t.Fatalf("planted divergence not detected by replay")
+	}
+
+	d := Bisect(s.Rec, r.Rec)
+	if d == nil {
+		t.Fatalf("bisector found no divergence")
+	}
+
+	// Ground truth by linear scan: the first differing event index.
+	want := -1
+	n := len(s.Rec.Events)
+	if len(r.Rec.Events) < n {
+		n = len(r.Rec.Events)
+	}
+	for i := 0; i < n; i++ {
+		if !eventEq(&s.Rec.Events[i], &r.Rec.Events[i]) {
+			want = i
+			break
+		}
+	}
+	if want < 0 {
+		t.Fatalf("streams equal on common prefix; planted divergence produced no event change")
+	}
+	if d.Seq != s.Rec.Events[want].Seq {
+		t.Fatalf("bisector seq %d, linear-scan ground truth %d", d.Seq, s.Rec.Events[want].Seq)
+	}
+
+	// Window correctness: the divergent seq must lie after the last good
+	// checkpoint and, when a first-bad checkpoint exists, before it.
+	if d.LastGood >= 0 && d.Seq < s.Rec.Checkpoints[d.LastGood].Seq {
+		t.Fatalf("divergent seq %d precedes last good checkpoint (seq %d)", d.Seq, s.Rec.Checkpoints[d.LastGood].Seq)
+	}
+	if d.FirstBad >= 0 && d.FirstBad < len(s.Rec.Checkpoints) && d.Seq >= s.Rec.Checkpoints[d.FirstBad].Seq {
+		t.Fatalf("divergent seq %d not before first bad checkpoint (seq %d)", d.Seq, s.Rec.Checkpoints[d.FirstBad].Seq)
+	}
+}

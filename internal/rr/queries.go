@@ -1,0 +1,68 @@
+package rr
+
+import "k23/internal/kernel"
+
+// Reverse (time-travel) queries over a recording's event stream. They
+// are pure index scans — no re-execution — and return pointers into
+// Recording.Events, so the caller can feed the found event's Seq to
+// Session.SeekSeq to materialize the world state at that moment.
+
+// LastEventBefore returns the last event with Seq < beforeSeq matching
+// pred, or nil. It is the generic reverse query the named ones build on.
+func (r *Recording) LastEventBefore(beforeSeq uint64, pred func(*EventRec) bool) *EventRec {
+	for i := len(r.Events) - 1; i >= 0; i-- {
+		e := &r.Events[i]
+		if e.Seq >= beforeSeq {
+			continue
+		}
+		if pred(e) {
+			return e
+		}
+	}
+	return nil
+}
+
+// writeFamily reports whether nr writes through a file descriptor in
+// arg 0 (the descriptor-mutation set the fd reverse query covers).
+func writeFamily(nr uint64) bool {
+	switch nr {
+	case kernel.SysWrite, kernel.SysSendto:
+		return true
+	}
+	return false
+}
+
+// LastWriteToFD returns the last write-family syscall entry targeting
+// descriptor fdNum before beforeSeq — "what last wrote fd N before the
+// escape at seq S".
+func (r *Recording) LastWriteToFD(fdNum int, beforeSeq uint64) *EventRec {
+	return r.LastEventBefore(beforeSeq, func(e *EventRec) bool {
+		return e.Kind == kernel.EvEnter.String() && writeFamily(e.Num) &&
+			len(e.Args) > 0 && e.Args[0] == uint64(fdNum)
+	})
+}
+
+// LastTrapByMech returns the last interposer trap attributed to
+// mechanism mech (an EvInterposed event, whose Detail names the
+// mechanism) before virtual tick beforeTick.
+func (r *Recording) LastTrapByMech(mech string, beforeTick uint64) *EventRec {
+	interposed := kernel.EvInterposed.String()
+	for i := len(r.Events) - 1; i >= 0; i-- {
+		e := &r.Events[i]
+		if e.Clock >= beforeTick {
+			continue
+		}
+		if e.Kind == interposed && e.Detail == mech {
+			return e
+		}
+	}
+	return nil
+}
+
+// LastSyscallBefore returns the last entry of syscall nr before
+// beforeSeq, regardless of arguments.
+func (r *Recording) LastSyscallBefore(nr uint64, beforeSeq uint64) *EventRec {
+	return r.LastEventBefore(beforeSeq, func(e *EventRec) bool {
+		return e.Kind == kernel.EvEnter.String() && e.Num == nr
+	})
+}

@@ -1,0 +1,293 @@
+package rr
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"k23/internal/kernel"
+)
+
+// FormatVersion is the recording schema version; ReadJSONL rejects
+// recordings written by a different version.
+const FormatVersion = 1
+
+// EventRec is one recorded kernel event. It carries the syscall
+// arguments (EvEnter only) so reverse queries can filter on them
+// without re-executing.
+type EventRec struct {
+	Seq    uint64   `json:"seq"`
+	PID    int      `json:"pid"`
+	TID    int      `json:"tid"`
+	Kind   string   `json:"kind"`
+	Num    uint64   `json:"num"`
+	Site   uint64   `json:"site,omitempty"`
+	Ret    uint64   `json:"ret,omitempty"`
+	Clock  uint64   `json:"clock"`
+	Args   []uint64 `json:"args,omitempty"`
+	Detail string   `json:"detail,omitempty"`
+}
+
+// hashLine is the canonical accumulation line for the running event
+// hash — the recorder writes exactly this per event, and Validate
+// recomputes it over the stored stream to detect edited event lines.
+func (e *EventRec) hashLine() string {
+	return fmt.Sprintf("%d/%d %s %d %#x %#x %s\n",
+		e.PID, e.TID, e.Kind, e.Num, e.Site, e.Ret, e.Detail)
+}
+
+// eventStreamHash folds the whole stream through hashLine.
+func eventStreamHash(events []EventRec) uint64 {
+	h := newFNV()
+	for i := range events {
+		h.writeString(events[i].hashLine())
+	}
+	return h.h
+}
+
+// CkptMeta describes one checkpoint: where it sits in the run (event
+// ordinal, virtual clock, retired instructions) and the resumable hash
+// states at that point. The delta-page counters are the checkpoint
+// space metric (EXPERIMENTS.md E19).
+type CkptMeta struct {
+	Index       int    `json:"index"`
+	Seq         uint64 `json:"seq"`
+	VClock      uint64 `json:"vclock"`
+	Steps       uint64 `json:"steps"`
+	Events      int    `json:"events"`
+	TraceHash   uint64 `json:"trace_hash"`
+	EventHash   uint64 `json:"event_hash"`
+	PagesCopied int    `json:"pages_copied"`
+	PagesShared int    `json:"pages_shared"`
+}
+
+// Final is the observable outcome of the run — the replay-equivalence
+// comparison surface.
+type Final struct {
+	TraceHash     uint64 `json:"trace_hash"`
+	EventHash     uint64 `json:"event_hash"`
+	VFSHash       uint64 `json:"vfs_hash"`
+	Steps         uint64 `json:"steps"`
+	Syscalls      uint64 `json:"syscalls"`
+	Events        int    `json:"events"`
+	Seq           uint64 `json:"seq"`
+	ExitCode      int    `json:"exit_code"`
+	ExitSignal    int    `json:"exit_signal,omitempty"`
+	ChaosInjected uint64 `json:"chaos_injected,omitempty"`
+	StdoutDigest  uint64 `json:"stdout_digest"`
+	StderrDigest  uint64 `json:"stderr_digest"`
+}
+
+// Recording is one run's nondeterminism frontier plus its observable
+// trace: the spec and the derived frontier values (initial clock,
+// payload, chaos decisions), the full kernel event stream, the
+// checkpoint metadata, and the final hashes.
+type Recording struct {
+	Version       int
+	Spec          RunSpec
+	VClock0       uint64
+	Payload       string
+	PayloadDigest uint64
+	Chaos         []kernel.ChaosDecision
+	Events        []EventRec
+	Checkpoints   []CkptMeta
+	Final         Final
+}
+
+// jsonLine is the JSONL envelope: one line per record, discriminated by
+// T ("header", "chaos", "event", "ckpt", "final").
+type jsonLine struct {
+	T             string                 `json:"t"`
+	Version       int                    `json:"version,omitempty"`
+	Spec          *RunSpec               `json:"spec,omitempty"`
+	VClock0       uint64                 `json:"vclock0,omitempty"`
+	Payload       string                 `json:"payload,omitempty"`
+	PayloadDigest uint64                 `json:"payload_digest,omitempty"`
+	Chaos         *kernel.ChaosDecision  `json:"chaos,omitempty"`
+	Event         *EventRec              `json:"event,omitempty"`
+	Ckpt          *CkptMeta              `json:"ckpt,omitempty"`
+	Final         *Final                 `json:"final,omitempty"`
+}
+
+// WriteJSONL serializes the recording: a header line, then every chaos
+// decision, event, and checkpoint in stream order, then the final line.
+func (r *Recording) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	spec := r.Spec
+	if err := enc.Encode(jsonLine{
+		T: "header", Version: r.Version, Spec: &spec,
+		VClock0: r.VClock0, Payload: r.Payload, PayloadDigest: r.PayloadDigest,
+	}); err != nil {
+		return err
+	}
+	for i := range r.Chaos {
+		if err := enc.Encode(jsonLine{T: "chaos", Chaos: &r.Chaos[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range r.Events {
+		if err := enc.Encode(jsonLine{T: "event", Event: &r.Events[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range r.Checkpoints {
+		if err := enc.Encode(jsonLine{T: "ckpt", Ckpt: &r.Checkpoints[i]}); err != nil {
+			return err
+		}
+	}
+	final := r.Final
+	if err := enc.Encode(jsonLine{T: "final", Final: &final}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses and validates a recording.
+func ReadJSONL(rd io.Reader) (*Recording, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	rec := &Recording{}
+	sawHeader, sawFinal := false, false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ln jsonLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			return nil, fmt.Errorf("rr: line %d: %v", lineNo, err)
+		}
+		switch ln.T {
+		case "header":
+			if sawHeader {
+				return nil, fmt.Errorf("rr: line %d: duplicate header", lineNo)
+			}
+			if ln.Version != FormatVersion {
+				return nil, fmt.Errorf("rr: line %d: format version %d, want %d", lineNo, ln.Version, FormatVersion)
+			}
+			if ln.Spec == nil {
+				return nil, fmt.Errorf("rr: line %d: header without spec", lineNo)
+			}
+			rec.Version = ln.Version
+			rec.Spec = *ln.Spec
+			rec.VClock0 = ln.VClock0
+			rec.Payload = ln.Payload
+			rec.PayloadDigest = ln.PayloadDigest
+			sawHeader = true
+		case "chaos":
+			if ln.Chaos == nil {
+				return nil, fmt.Errorf("rr: line %d: chaos line without body", lineNo)
+			}
+			rec.Chaos = append(rec.Chaos, *ln.Chaos)
+		case "event":
+			if ln.Event == nil {
+				return nil, fmt.Errorf("rr: line %d: event line without body", lineNo)
+			}
+			rec.Events = append(rec.Events, *ln.Event)
+		case "ckpt":
+			if ln.Ckpt == nil {
+				return nil, fmt.Errorf("rr: line %d: ckpt line without body", lineNo)
+			}
+			rec.Checkpoints = append(rec.Checkpoints, *ln.Ckpt)
+		case "final":
+			if ln.Final == nil {
+				return nil, fmt.Errorf("rr: line %d: final line without body", lineNo)
+			}
+			rec.Final = *ln.Final
+			sawFinal = true
+		default:
+			return nil, fmt.Errorf("rr: line %d: unknown record type %q", lineNo, ln.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rr: %v", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("rr: missing header line")
+	}
+	if !sawFinal {
+		return nil, fmt.Errorf("rr: missing final line (truncated recording?)")
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Validate checks the recording's internal consistency: monotone event
+// ordinals, ordered checkpoints within the event range, a monotone
+// chaos query stream, a payload matching its digest, and an event
+// stream that re-hashes to the recorded final event hash (so edited
+// event lines are rejected without any re-execution). obsvcheck -rr
+// runs exactly this.
+func (r *Recording) Validate() error {
+	if r.Version != FormatVersion {
+		return fmt.Errorf("rr: format version %d, want %d", r.Version, FormatVersion)
+	}
+	if r.Payload != "" && digest([]byte(r.Payload)) != r.PayloadDigest {
+		return fmt.Errorf("rr: payload digest mismatch (corrupted payload)")
+	}
+	for i := 1; i < len(r.Events); i++ {
+		if r.Events[i].Seq <= r.Events[i-1].Seq {
+			return fmt.Errorf("rr: event %d: seq %d not after %d", i, r.Events[i].Seq, r.Events[i-1].Seq)
+		}
+	}
+	for i := range r.Events {
+		if _, ok := kernel.EventKindByName(r.Events[i].Kind); !ok {
+			return fmt.Errorf("rr: event %d: unknown kind %q", i, r.Events[i].Kind)
+		}
+	}
+	for i := range r.Checkpoints {
+		c := &r.Checkpoints[i]
+		if c.Index != i {
+			return fmt.Errorf("rr: checkpoint %d: index %d out of order", i, c.Index)
+		}
+		if i > 0 {
+			prev := &r.Checkpoints[i-1]
+			if c.Seq < prev.Seq || c.Steps < prev.Steps || c.VClock < prev.VClock {
+				return fmt.Errorf("rr: checkpoint %d: position regresses", i)
+			}
+		}
+		if c.Events > len(r.Events) {
+			return fmt.Errorf("rr: checkpoint %d: event count %d exceeds stream length %d", i, c.Events, len(r.Events))
+		}
+	}
+	for i := 1; i < len(r.Chaos); i++ {
+		if r.Chaos[i].Q <= r.Chaos[i-1].Q {
+			return fmt.Errorf("rr: chaos decision %d: query ordinal %d not after %d", i, r.Chaos[i].Q, r.Chaos[i-1].Q)
+		}
+	}
+	if r.Final.Events != len(r.Events) {
+		return fmt.Errorf("rr: final records %d events, stream has %d", r.Final.Events, len(r.Events))
+	}
+	if h := eventStreamHash(r.Events); h != r.Final.EventHash {
+		return fmt.Errorf("rr: event stream hashes to %#x but final records %#x (edited event lines?)", h, r.Final.EventHash)
+	}
+	return nil
+}
+
+// EquivalentTo compares two recordings' observable outcomes and
+// checkpoint trajectories, returning a description of the first
+// difference, or nil when replay-equivalent.
+func (r *Recording) EquivalentTo(o *Recording) error {
+	n := len(r.Checkpoints)
+	if len(o.Checkpoints) < n {
+		n = len(o.Checkpoints)
+	}
+	for i := 0; i < n; i++ {
+		a, b := &r.Checkpoints[i], &o.Checkpoints[i]
+		if *a != *b {
+			return fmt.Errorf("rr: checkpoint %d diverges: %+v vs %+v", i, *a, *b)
+		}
+	}
+	if len(r.Checkpoints) != len(o.Checkpoints) {
+		return fmt.Errorf("rr: checkpoint count %d vs %d", len(r.Checkpoints), len(o.Checkpoints))
+	}
+	if r.Final != o.Final {
+		return fmt.Errorf("rr: final state diverges: %+v vs %+v", r.Final, o.Final)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package rrtest
+
+import (
+	"testing"
+
+	"k23/internal/interpose/variants"
+	"k23/internal/kernel"
+	"k23/internal/rr"
+)
+
+// TestAppsReplayEquivalence runs the battery over all 9 apps natively.
+// Subtests run in parallel: each session owns its world, so the battery
+// under -race also proves the engine shares no mutable state.
+func TestAppsReplayEquivalence(t *testing.T) {
+	for _, spec := range AppSpecs() {
+		spec := spec
+		t.Run(SubtestName(spec), func(t *testing.T) {
+			t.Parallel()
+			Battery(t, spec)
+		})
+	}
+}
+
+// TestPitfallMatrixReplayEquivalence crosses the Table 3 systems
+// (zpoline-ultra, lazypoline, k23-ultra+) with a file workload and a
+// server workload: checkpoints now snapshot live interposer state
+// (rewrite site sets, SUD selectors, K23 handoff counters), so this is
+// the HostState round-trip proof under real mechanisms.
+func TestPitfallMatrixReplayEquivalence(t *testing.T) {
+	apps := AppSpecs()
+	var cat, redis rr.RunSpec
+	for _, s := range apps {
+		switch s.Name {
+		case "cat":
+			cat = s
+		case "redis":
+			redis = s
+		}
+	}
+	for _, col := range variants.Table3Columns() {
+		for _, base := range []rr.RunSpec{cat, redis} {
+			spec := base
+			spec.Mechanism = col.Name
+			t.Run(SubtestName(spec), func(t *testing.T) {
+				t.Parallel()
+				Battery(t, spec)
+			})
+		}
+	}
+}
+
+// TestChaosSeedsReplayEquivalence records the redis workload under the
+// default chaos profile with 8 distinct seeds and proves every
+// perturbation schedule replays bit-identically from the recorded
+// decision script (not the seed).
+func TestChaosSeedsReplayEquivalence(t *testing.T) {
+	apps := AppSpecs()
+	var redis rr.RunSpec
+	for _, s := range apps {
+		if s.Name == "redis" {
+			redis = s
+		}
+	}
+	prof := kernel.DefaultChaosProfile()
+	injected := false
+	done := make(chan bool, 8)
+	for seed := uint64(1); seed <= 8; seed++ {
+		spec := redis
+		spec.Name = "redis-chaos"
+		spec.Chaos = &prof
+		spec.ChaosSeed = seed * 0x9e3779b97f4a7c15
+		t.Run(SubtestName(spec), func(t *testing.T) {
+			t.Parallel()
+			s, err := rr.Record(spec, rr.Hooks{})
+			if err != nil {
+				t.Fatalf("Record: %v", err)
+			}
+			if err := s.Run(); err != nil {
+				t.Fatalf("record run: %v", err)
+			}
+			done <- s.Rec.Final.ChaosInjected > 0
+			r, err := rr.Replay(s.Rec, rr.Hooks{})
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			if err := r.Run(); err != nil {
+				t.Fatalf("replay run: %v", err)
+			}
+			if err := s.Rec.EquivalentTo(r.Rec); err != nil {
+				t.Fatalf("chaos replay not equivalent: %v", err)
+			}
+			for i := 0; i < s.NumCheckpoints(); i++ {
+				got, err := s.RunFromCheckpoint(i)
+				if err != nil {
+					t.Fatalf("RunFromCheckpoint(%d): %v", i, err)
+				}
+				if got != s.Rec.Final {
+					t.Fatalf("chaos replay from checkpoint %d diverged", i)
+				}
+			}
+		})
+	}
+	t.Cleanup(func() {
+		close(done)
+		for d := range done {
+			injected = injected || d
+		}
+		if !injected {
+			t.Errorf("no chaos seed injected anything; the chaos leg of the battery is vacuous")
+		}
+	})
+}

@@ -1,0 +1,92 @@
+// Package rrtest is the replay-equivalence battery: the proof surface
+// for the record/replay engine. It mirrors the difftest Mode pattern —
+// a workload matrix crossed with engine configurations, every pair
+// asserted bit-identical — but the axis here is HOW a run is re-executed
+// (record, replay-from-tick-0 off the recorded frontier, replay from
+// every checkpoint) rather than which execution engine runs it.
+package rrtest
+
+import (
+	"fmt"
+	"testing"
+
+	"k23/internal/cpu/difftest"
+	"k23/internal/rr"
+)
+
+// CheckpointEvery is the battery's checkpoint interval in virtual
+// ticks, small enough that the workloads cross several boundaries.
+const CheckpointEvery = 30_000
+
+// AppSpecs converts the full difftest app matrix (the Table 2 set) into
+// recordable run specs.
+func AppSpecs() []rr.RunSpec {
+	ws := difftest.AppWorkloads()
+	out := make([]rr.RunSpec, 0, len(ws))
+	for i, w := range ws {
+		out = append(out, rr.RunSpec{
+			Name: w.Name, Path: w.Path, Argv: w.Argv,
+			Server: w.Server, Requests: w.Requests,
+			Seed:            uint64(i)*0x9e3779b97f4a7c15 + 1,
+			CheckpointEvery: CheckpointEvery,
+		})
+	}
+	return out
+}
+
+// Battery is the core assertion: record spec, replay it from tick 0
+// consuming only the recorded frontier, and re-execute from every
+// checkpoint — all three must produce bit-identical trace, event, and
+// VFS hashes (and exits, chaos counts, output digests).
+func Battery(t *testing.T, spec rr.RunSpec) {
+	t.Helper()
+
+	s, err := rr.Record(spec, rr.Hooks{})
+	if err != nil {
+		t.Fatalf("%s: Record: %v", spec.Name, err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("%s: record run: %v", spec.Name, err)
+	}
+	if s.Rec.Final.ExitSignal != 0 {
+		t.Fatalf("%s: workload died by signal: %+v", spec.Name, s.Rec.Final)
+	}
+	if err := s.Rec.Validate(); err != nil {
+		t.Fatalf("%s: recording invalid: %v", spec.Name, err)
+	}
+
+	// Replay from tick 0, frontier-only.
+	r, err := rr.Replay(s.Rec, rr.Hooks{})
+	if err != nil {
+		t.Fatalf("%s: Replay: %v", spec.Name, err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("%s: replay run: %v", spec.Name, err)
+	}
+	if i, diverged := r.Diverged(); diverged {
+		t.Fatalf("%s: replay diverged at checkpoint %d", spec.Name, i)
+	}
+	if err := s.Rec.EquivalentTo(r.Rec); err != nil {
+		t.Fatalf("%s: replay-from-0 not equivalent: %v", spec.Name, err)
+	}
+
+	// Replay from every checkpoint.
+	for i := 0; i < s.NumCheckpoints(); i++ {
+		got, err := s.RunFromCheckpoint(i)
+		if err != nil {
+			t.Fatalf("%s: RunFromCheckpoint(%d): %v", spec.Name, i, err)
+		}
+		if got != s.Rec.Final {
+			t.Fatalf("%s: replay from checkpoint %d diverged:\n got  %+v\n want %+v",
+				spec.Name, i, got, s.Rec.Final)
+		}
+	}
+}
+
+// SubtestName labels a matrix cell.
+func SubtestName(spec rr.RunSpec) string {
+	if spec.Mechanism == "" {
+		return spec.Name
+	}
+	return fmt.Sprintf("%s-%s", spec.Name, spec.Mechanism)
+}

@@ -1,0 +1,20 @@
+package sud
+
+import "k23/internal/kernel"
+
+// Checkpoint support: SUD's per-process state is a plain value struct
+// (stats plus fixed guest addresses), so snapshot and restore are value
+// copies.
+
+// SnapshotHostState implements kernel.HostState.
+func (st *state) SnapshotHostState() any {
+	s := *st
+	return &s
+}
+
+// RestoreHostState implements kernel.HostState.
+func (st *state) RestoreHostState(v any) {
+	*st = *(v.(*state))
+}
+
+var _ kernel.HostState = (*state)(nil)

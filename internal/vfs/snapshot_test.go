@@ -1,0 +1,83 @@
+package vfs
+
+import "testing"
+
+func buildFS(t *testing.T) *FS {
+	t.Helper()
+	f := New()
+	if err := f.MkdirAll("/etc/conf.d"); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	if err := f.WriteFile("/etc/passwd", []byte("root:x:0:0\n"), 0644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := f.WriteFile("/etc/conf.d/net", []byte("eth0"), 0600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := f.SetImmutable("/etc/passwd", true); err != nil {
+		t.Fatalf("SetImmutable: %v", err)
+	}
+	return f
+}
+
+// TestFSStateRoundTrip is the VFS leg of the checkpoint property:
+// Snapshot → mutate → Restore must reproduce the exact pre-mutation
+// tree hash, including modes and immutability bits.
+func TestFSStateRoundTrip(t *testing.T) {
+	f := buildFS(t)
+	h0 := f.Hash()
+	s0 := f.SnapshotState()
+
+	mutate := func() {
+		if err := f.WriteFile("/tmp.txt", []byte("new"), 0644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		if err := f.Append("/etc/conf.d/net", []byte(" eth1")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := f.Chmod("/etc/conf.d/net", 0400); err != nil {
+			t.Fatalf("Chmod: %v", err)
+		}
+		if err := f.SetImmutable("/etc/passwd", false); err != nil {
+			t.Fatalf("SetImmutable: %v", err)
+		}
+		if err := f.Unlink("/etc/passwd"); err != nil {
+			t.Fatalf("Unlink: %v", err)
+		}
+	}
+	mutate()
+	if f.Hash() == h0 {
+		t.Fatalf("mutation did not change the tree hash; test is vacuous")
+	}
+	f.RestoreState(s0)
+	if got := f.Hash(); got != h0 {
+		t.Fatalf("restore: hash %#x, want %#x", got, h0)
+	}
+	if !f.IsImmutable("/etc/passwd") {
+		t.Fatalf("immutability bit lost across restore")
+	}
+
+	// One FSState must seed any number of restores.
+	mutate()
+	f.RestoreState(s0)
+	if got := f.Hash(); got != h0 {
+		t.Fatalf("second restore from same snapshot: hash %#x, want %#x", got, h0)
+	}
+}
+
+// TestFSStateNoAliasing proves a snapshot is a deep copy: writes to the
+// live tree after restoring must not reach back into the snapshot.
+func TestFSStateNoAliasing(t *testing.T) {
+	f := buildFS(t)
+	h0 := f.Hash()
+	s0 := f.SnapshotState()
+
+	f.RestoreState(s0)
+	if err := f.Append("/etc/conf.d/net", []byte(" wlan0")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	f.RestoreState(s0)
+	if got := f.Hash(); got != h0 {
+		t.Fatalf("snapshot mutated through a restored tree: hash %#x, want %#x", got, h0)
+	}
+}
