@@ -167,6 +167,29 @@ func TestGoldenRR(t *testing.T) {
 	checkGolden(t, "rr.golden", bench.FormatRR(rows))
 }
 
+// TestGoldenPhases pins `benchtab -claim phases` (E20): the span-layer
+// decomposition of every Table 5 row into lifecycle-phase self-cycles
+// plus the dispatch residual. The columns are two-point slopes over the
+// same micro workload Table 5 measures, so each row must sum (phases +
+// other) to that table's cycles/iter; drift means either an interposer's
+// cost moved or the span builder's attribution changed.
+func TestGoldenPhases(t *testing.T) {
+	rows, err := bench.MeasurePhases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		var attributed float64
+		for _, v := range r.Phases {
+			attributed += v
+		}
+		if diff := r.Total - (attributed + r.Other); diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s: phases+other = %.3f, total = %.3f", r.Name, attributed+r.Other, r.Total)
+		}
+	}
+	checkGolden(t, "phases.golden", bench.FormatPhases(rows))
+}
+
 // TestGoldenCoverage pins the audited coverage matrices (E17): the
 // full per-syscall x per-mechanism counts, escapes by taxonomy
 // category, and TTFC for every coverage app under every coverage

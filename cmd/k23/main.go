@@ -6,7 +6,8 @@
 //
 //	k23 [-variant NAME] [-trace] [-stats] [-metrics FILE] [-prom FILE]
 //	    [-trace-json FILE] [-profile FILE] [-folded FILE]
-//	    [-profile-every N] [-audit] [-audit-json FILE] PROG [ARGS...]
+//	    [-profile-every N] [-audit] [-audit-json FILE]
+//	    [-spans FILE] [-perfetto FILE] [-critpath] PROG [ARGS...]
 //
 // PROG is one of the registered workloads (pwd, touch, ls, cat, clear,
 // nginx, lighttpd, redis-server, sqlite3) by basename or full path.
@@ -30,6 +31,7 @@ import (
 	"k23/internal/interpose/variants"
 	"k23/internal/kernel"
 	"k23/internal/obsv"
+	"k23/internal/span"
 )
 
 // resolveProg maps a basename to a registered binary path.
@@ -84,6 +86,30 @@ func writeFile(path, what string, write func(f *os.File) error) {
 	fmt.Fprintf(os.Stderr, "[obsv] %s written to %s\n", what, path)
 }
 
+// writeSpanOutputs emits the span-layer artifacts shared by the plain
+// and record/replay paths.
+func writeSpanOutputs(sets []*span.Set, spansOut, perfettoOut string, critPath bool) {
+	if len(sets) == 0 {
+		return
+	}
+	if spansOut != "" {
+		writeFile(spansOut, "span JSONL", func(f *os.File) error {
+			return span.WriteJSONL(f, sets...)
+		})
+	}
+	if perfettoOut != "" {
+		writeFile(perfettoOut, "Perfetto trace", func(f *os.File) error {
+			return span.WritePerfetto(f, sets...)
+		})
+	}
+	if critPath {
+		rep := span.Analyze(sets...)
+		fmt.Fprintf(os.Stderr, "[spans] %d spans (%d syscall, %d handler, %d signal); critical path of the longest lifecycle chain:\n",
+			rep.Spans, rep.Kinds[span.KindSyscall], rep.Kinds[span.KindHandler], rep.Kinds[span.KindSignal])
+		fmt.Fprint(os.Stderr, span.FormatSteps(span.CriticalPath(sets[0], 0)))
+	}
+}
+
 func main() {
 	variant := flag.String("variant", "k23-ultra", "interposer variant (see -list)")
 	trace := flag.Bool("trace", false, "record and print a strace-style syscall trace")
@@ -97,6 +123,9 @@ func main() {
 		"sample guest RIP every N virtual ticks (0 = default when -profile/-folded set)")
 	auditFlag := flag.Bool("audit", false, "join the kernel's ground-truth syscall stream against the interposer's claims and print the audit report (coverage, escapes, TTFC)")
 	auditJSON := flag.String("audit-json", "", "write the audit report as JSONL to FILE (validate with obsvcheck -audit)")
+	spansOut := flag.String("spans", "", "assemble causal syscall-lifecycle spans and write them as JSONL to FILE (validate with obsvcheck -spans; with -replay, derives the trace retroactively)")
+	perfettoOut := flag.String("perfetto", "", "write the span trace as Chrome/Perfetto trace_event JSON to FILE (open in ui.perfetto.dev)")
+	critPath := flag.Bool("critpath", false, "print the critical path of the longest syscall lifecycle chain (requires -spans or -perfetto)")
 	stats := flag.Bool("stats", false, "print interposition statistics")
 	chaosSeed := flag.Uint64("chaos", 0,
 		"arm deterministic fault injection with this seed (0 = off); perturbations appear in the trace as chaos events")
@@ -149,6 +178,7 @@ func main() {
 			ckptEvery: *ckptEvery, requests: *requests,
 			trace: *trace, stats: *stats,
 			audit: *auditFlag, auditJSON: *auditJSON, ring: *ringSize,
+			spansOut: *spansOut, perfettoOut: *perfettoOut, critPath: *critPath,
 		}
 		os.Exit(c.run(path, argv))
 	}
@@ -160,6 +190,7 @@ func main() {
 		Trace:    *trace || *traceJSON != "",
 		RingSize: *ringSize,
 		Metrics:  *metricsOut != "" || *promOut != "",
+		Spans:    *spansOut != "" || *perfettoOut != "" || *critPath,
 	}
 	if *profileOut != "" || *foldedOut != "" || *profileEvery != 0 {
 		opts.ProfileEvery = *profileEvery
@@ -264,6 +295,9 @@ func main() {
 		if *promOut != "" {
 			writeFile(*promOut, "Prometheus metrics", func(f *os.File) error {
 				snap.Metrics.WritePrometheus(f, [][2]string{{"variant", *variant}})
+				if len(snap.Spans) != 0 {
+					obsv.WriteSpanPrometheus(f, snap.Spans, [][2]string{{"variant", *variant}})
+				}
 				return nil
 			})
 		}
@@ -277,6 +311,7 @@ func main() {
 				return snap.Profile.WriteFolded(f)
 			})
 		}
+		writeSpanOutputs(snap.Spans, *spansOut, *perfettoOut, *critPath)
 	}
 
 	if auditObs != nil {

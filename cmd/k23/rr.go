@@ -28,6 +28,18 @@ type rrCLI struct {
 	audit     bool
 	auditJSON string
 	ring      int
+	// Span outputs. On a -replay run these derive the trace
+	// retroactively: phase marks ride their own side-stream ordinal, so
+	// the spans observer never perturbs the recorded schedule and the
+	// derived trace is bit-identical to what a live-traced run produces.
+	spansOut    string
+	perfettoOut string
+	critPath    bool
+}
+
+// wantSpans reports whether any span-layer output was requested.
+func (c rrCLI) wantSpans() bool {
+	return c.spansOut != "" || c.perfettoOut != "" || c.critPath
 }
 
 // isServerApp marks the workloads driven by an injected connection.
@@ -42,8 +54,8 @@ func isServerApp(path string) bool {
 func (c rrCLI) run(path string, argv []string) int {
 	var obs, auditObs *obsv.Observer
 	hooks := rr.Hooks{BeforeLaunch: func(w *interpose.World) {
-		if c.trace {
-			obs = obsv.New(obsv.Options{Trace: true, RingSize: c.ring})
+		if c.trace || c.wantSpans() {
+			obs = obsv.New(obsv.Options{Trace: c.trace, RingSize: c.ring, Spans: c.wantSpans()})
 			obs.Install(w.K)
 		}
 		if c.audit || c.auditJSON != "" {
@@ -120,8 +132,12 @@ func (c rrCLI) run(path string, argv []string) int {
 		fmt.Fprintf(os.Stderr, "interposed: %d ptrace, %d rewritten, %d sud; %d sites rewritten\n",
 			st.Ptraced, st.Rewritten, st.SUD, st.Sites)
 	}
-	if obs != nil && c.trace {
-		_ = obsv.WriteStrace(os.Stderr, obs.Snapshot().Trace)
+	if obs != nil {
+		snap := obs.Snapshot()
+		if c.trace {
+			_ = obsv.WriteStrace(os.Stderr, snap.Trace)
+		}
+		writeSpanOutputs(snap.Spans, c.spansOut, c.perfettoOut, c.critPath)
 	}
 	if auditObs != nil {
 		audit := auditObs.Snapshot().Audit

@@ -15,11 +15,18 @@
 // chaos decisions, and a final record whose counts and event-stream
 // hash match the stream (edited event lines are rejected).
 //
+// With -spans it validates causal span JSONL (as written by
+// `k23 -spans`): per-machine headers whose span count and hash match
+// the stream, strictly increasing span IDs, parents that exist and
+// contain their children on both timelines, cause edges that point
+// backwards to known spans, and monotone phase slices within bounds.
+//
 // Usage:
 //
 //	obsvcheck FILE...        validate each trace file
 //	obsvcheck -audit FILE... validate each audit report
 //	obsvcheck -rr FILE...    validate each rr recording
+//	obsvcheck -spans FILE... validate each span trace
 //	obsvcheck -              validate stdin
 package main
 
@@ -32,7 +39,26 @@ import (
 	"k23/internal/audit"
 	"k23/internal/obsv"
 	"k23/internal/rr"
+	"k23/internal/span"
 )
+
+// checkSpans validates one span-trace stream.
+func checkSpans(name string, r io.Reader) bool {
+	rep, err := span.ValidateJSONL(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsvcheck: %s: %v\n", name, err)
+		return false
+	}
+	if !rep.Ok() {
+		for _, p := range rep.Problems {
+			fmt.Fprintf(os.Stderr, "obsvcheck: %s: %s\n", name, p)
+		}
+		return false
+	}
+	fmt.Printf("%s: spans OK (%d machines, %d spans, %d slices)\n",
+		name, rep.Machines, rep.Spans, rep.Slices)
+	return true
+}
 
 // checkRR validates one rr recording stream.
 func checkRR(name string, r io.Reader) bool {
@@ -70,15 +96,25 @@ func check(name string, r io.Reader, auditMode bool) bool {
 func main() {
 	auditMode := flag.Bool("audit", false, "validate audit-report JSONL instead of flight-recorder traces")
 	rrMode := flag.Bool("rr", false, "validate record/replay recording JSONL instead of flight-recorder traces")
+	spansMode := flag.Bool("spans", false, "validate causal span JSONL instead of flight-recorder traces")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 || (*auditMode && *rrMode) {
-		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit|-rr] FILE... | obsvcheck [-audit|-rr] -")
+	modes := 0
+	for _, m := range []bool{*auditMode, *rrMode, *spansMode} {
+		if m {
+			modes++
+		}
+	}
+	if len(args) == 0 || modes > 1 {
+		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit|-rr|-spans] FILE... | obsvcheck [-audit|-rr|-spans] -")
 		os.Exit(2)
 	}
 	validate := func(name string, r io.Reader) bool {
 		if *rrMode {
 			return checkRR(name, r)
+		}
+		if *spansMode {
+			return checkSpans(name, r)
 		}
 		return check(name, r, *auditMode)
 	}

@@ -137,6 +137,7 @@ func MeasureObsOverhead(variantName string) ([]ObsOverheadRow, error) {
 		{"observer, all off", obsv.Options{}, true},
 		{"metrics", obsv.Options{Metrics: true}, false},
 		{"audit", obsv.Options{Audit: true}, false},
+		{"spans", obsv.Options{Spans: true}, false},
 		{"trace[512]+metrics", obsv.Options{Trace: true, RingSize: 512, Metrics: true}, false},
 		{"trace+metrics", obsv.Options{Trace: true, Metrics: true}, false},
 		{"trace+metrics+profile", obsv.Options{Trace: true, Metrics: true, ProfileEvery: obsv.DefaultProfileEvery}, false},

@@ -214,12 +214,18 @@ func (tr *k23Tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site u
 			}
 			interpose.Observe(call)
 		}
+		// The handler span covers only the stop itself; the kernel slice
+		// that follows lands in the enclosing trap span.
+		k.EmitPhase(t, kernel.PhHandler, nr, site, interpose.MechPtrace.String())
+		k.EmitPhase(t, kernel.PhForward, nr, site, interpose.MechPtrace.String())
+		k.EmitPhase(t, kernel.PhHandlerRet, nr, site, interpose.MechPtrace.String())
 		return false
 	}
 	regs := k.TraceeRegs(t)
 	call := &interpose.Call{
 		Kernel: k, Thread: t, Num: nr, Site: site, Mechanism: interpose.MechPtrace,
 	}
+	interpose.Phase(call, kernel.PhHandler)
 	for i := range call.Args {
 		call.Args[i] = regs.Arg(i)
 	}
@@ -229,10 +235,13 @@ func (tr *k23Tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site u
 	tr.last[t.TID] = call
 	interpose.Observe(call)
 	origNum := call.Num
+	interpose.Phase(call, kernel.PhHook)
 	ret, emulated := tr.k23.Config.Hook(call)
 	if emulated {
 		interpose.Resolve(call, call.Num, true)
+		interpose.Phase(call, kernel.PhEmulate)
 		regs.R[cpu.RAX] = ret
+		interpose.Phase(call, kernel.PhHandlerRet)
 		return true
 	}
 	if call.Num != origNum {
@@ -242,6 +251,8 @@ func (tr *k23Tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site u
 	for i, a := range call.Args {
 		regs.SetArg(i, a)
 	}
+	interpose.Phase(call, kernel.PhForward)
+	interpose.Phase(call, kernel.PhHandlerRet)
 	return false
 }
 
@@ -629,6 +640,10 @@ func (z *K23) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 		Site:      site,
 		Mechanism: interpose.MechRewrite,
 	}
+	// K23's trampoline only issues the exit hostcall when a ResultHook is
+	// installed, so the handler span always closes here; the forwarded
+	// re-execution's trap span is linked by a cause edge, not nesting.
+	interpose.Phase(call, kernel.PhHandler)
 	for i := range call.Args {
 		call.Args[i] = ctx.Arg(i)
 	}
@@ -639,10 +654,13 @@ func (z *K23) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 	interpose.Observe(call)
 	if z.Config.Hook != nil {
 		origNum := call.Num
+		interpose.Phase(call, kernel.PhHook)
 		if ret, emulated := z.Config.Hook(call); emulated {
 			interpose.Resolve(call, call.Num, true)
+			interpose.Phase(call, kernel.PhEmulate)
 			ctx.R[cpu.RAX] = ret
 			ctx.R[cpu.R11] = 1
+			interpose.Phase(call, kernel.PhHandlerRet)
 			return nil
 		}
 		if call.Num != origNum {
@@ -654,11 +672,15 @@ func (z *K23) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 		}
 	}
 	if call.Num == kernel.SysClone {
+		interpose.Phase(call, kernel.PhForward)
 		ctx.R[cpu.RAX] = interpose.EmulateClone(k, t, call.Args, retAddr, z.childSetup(k, t))
 		ctx.R[cpu.R11] = 1
+		interpose.Phase(call, kernel.PhHandlerRet)
 		return nil
 	}
+	interpose.Phase(call, kernel.PhForward)
 	ctx.R[cpu.R11] = 0
+	interpose.Phase(call, kernel.PhHandlerRet)
 	return nil
 }
 
@@ -719,6 +741,7 @@ func (z *K23) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	site := callAddr - uint64(cpu.SyscallInstLen)
 
 	call := &interpose.Call{Kernel: k, Thread: t, Num: nr, Site: site, Mechanism: interpose.MechSUD}
+	interpose.Phase(call, kernel.PhHandler)
 	for i, r := range cpu.SyscallArgRegs {
 		v, err := as.KLoadU64(uctxAddr + kernel.UctxRegs + uint64(8*int(r)))
 		if err != nil {
@@ -736,19 +759,23 @@ func (z *K23) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	emulated := false
 	origNum := call.Num
 	if z.Config.Hook != nil {
+		interpose.Phase(call, kernel.PhHook)
 		ret, emulated = z.Config.Hook(call)
 	}
 	if emulated {
 		interpose.Resolve(call, call.Num, true)
+		interpose.Phase(call, kernel.PhEmulate)
 	} else if call.Num != origNum {
 		interpose.Resolve(call, call.Num, false)
 	}
 	if !emulated {
+		interpose.Phase(call, kernel.PhForward)
 		if call.Num == kernel.SysClone {
 			ret = interpose.EmulateClone(k, t, call.Args, callAddr, z.childSetup(k, t))
 		} else {
 			ret, err = sud.ExecFrame(k, t, st.frameAddr, st.doSyscall, call.Num, call.Args)
 			if err == kernel.ErrGuestWouldBlock {
+				interpose.Phase(call, kernel.PhHandlerRet)
 				return as.KStoreU64(uctxAddr+kernel.UctxRIP, site)
 			}
 			if err != nil {
@@ -759,5 +786,6 @@ func (z *K23) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	if z.Config.ResultHook != nil {
 		ret = z.Config.ResultHook(call, ret)
 	}
+	interpose.Phase(call, kernel.PhHandlerRet)
 	return as.KStoreU64(uctxAddr+kernel.UctxRegs+uint64(8*int(cpu.RAX)), ret)
 }

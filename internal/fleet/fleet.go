@@ -362,8 +362,11 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 	if opt.Obs.Enabled() {
 		// Installed after the hash hook so AddEventHook chains both;
 		// the observer is private to this World, keeping the machine
-		// race-free and bit-identical at any worker count.
-		obs = obsv.New(opt.Obs)
+		// race-free and bit-identical at any worker count. Span sets are
+		// keyed by machine name so a fleet merge stays deterministic.
+		oo := opt.Obs
+		oo.Machine = m.Name
+		obs = obsv.New(oo)
 		obs.Install(world.K)
 	}
 
@@ -443,7 +446,9 @@ func runRecorded(m Machine, opt Options, res *Result) {
 	hooks := rr.Hooks{}
 	if opt.Obs.Enabled() {
 		hooks.BeforeLaunch = func(w *interpose.World) {
-			obs = obsv.New(opt.Obs)
+			oo := opt.Obs
+			oo.Machine = m.Name
+			obs = obsv.New(oo)
 			obs.Install(w.K)
 		}
 	}

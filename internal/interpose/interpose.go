@@ -72,6 +72,13 @@ func Resolve(c *Call, nr uint64, emulated bool) {
 	c.Kernel.EmitResolve(c.Thread, c.Mechanism.String(), nr, c.Site, emulated)
 }
 
+// Phase publishes a span-layer phase mark attributed to c's mechanism
+// (handler entry/exit, hook dispatch, forwarding, emulation). Like
+// Observe it is nil-cost when no phase observer is installed.
+func Phase(c *Call, ph kernel.Phase) {
+	c.Kernel.EmitPhase(c.Thread, ph, c.Num, c.Site, c.Mechanism.String())
+}
+
 // Hook observes and optionally emulates a syscall. If emulated is true,
 // ret is returned to the application and the original call is not
 // executed. A nil Hook passes everything through — the "empty

@@ -429,6 +429,13 @@ type Kernel struct {
 	// AddEventHook.
 	EventHook func(Event)
 
+	// PhaseHook, if non-nil, receives fine-grained lifecycle phase marks
+	// (see phase.go). It is a separate side-stream with its own ordinal
+	// counter: installing it never perturbs the main event stream, its
+	// seq numbering, or anything derived from them. Install via
+	// AddPhaseHook to stack on an existing hook.
+	PhaseHook func(PhaseMark)
+
 	// ProfileHook, if non-nil, receives one (tid, rip) sample every
 	// profileEvery retired instructions. Sampling is driven by the
 	// virtual clock, so it is deterministic: the same machine produces
@@ -479,6 +486,12 @@ type Kernel struct {
 	// guarded by Tracing()), which is identical across a recorded run
 	// and its replays.
 	eventSeq uint64
+
+	// phaseSeq numbers phase marks on their own side-stream ordinal (it
+	// never feeds eventSeq; see phase.go). It only advances while a
+	// phase observer is installed, which is identical across a recorded
+	// run and a span-traced replay of it.
+	phaseSeq uint64
 
 	// StopAtSeq, when non-zero, asks the scheduler to return from Run at
 	// the first quantum boundary after an event with Seq >= StopAtSeq has
@@ -887,6 +900,9 @@ func (k *Kernel) threadReady(t *Thread) bool {
 	case ThreadBlocked:
 		if t.wake != nil && t.wake() {
 			t.State = ThreadRunnable
+			if k.PhaseHook != nil {
+				k.EmitPhase(t, PhWake, t.Core.Ctx.R[cpu.RAX], t.entrySite, t.wakeDesc.describe())
+			}
 			t.wake = nil
 			t.wakeDesc = wakeDesc{}
 			return true

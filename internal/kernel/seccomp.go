@@ -147,11 +147,15 @@ func (k *Kernel) seccompCheck(t *Thread, nr uint64, site uint64) (proceed bool) 
 		return true
 	case SeccompRetErrno & seccompActionMask:
 		t.Core.Ctx.R[cpu.RAX] = errno(int(action & seccompDataMask))
+		k.EmitPhase(t, PhReturn, nr, site, "seccomp-errno")
 		return false
 	case SeccompRetTrap & seccompActionMask:
 		if k.Tracing() {
 			k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvSeccompSigsys, Num: nr, Site: site})
 		}
+		// Diverted to the SIGSYS handler, never serviced: close the trap
+		// span before the signal span opens.
+		k.EmitPhase(t, PhReturn, nr, site, "seccomp-sigsys")
 		k.deliverSignal(t, SIGSYS, sigInfo{
 			signo:    SIGSYS,
 			syscall:  nr,

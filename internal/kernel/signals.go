@@ -84,6 +84,7 @@ func (k *Kernel) deliverSignal(t *Thread, sig int, info sigInfo) {
 		return
 	}
 	handler := act.handler
+	k.EmitPhase(t, PhSignal, uint64(sig), handler, "")
 	t.charge(k.Cost.SignalDeliver)
 	t.Core.FlushICache() // signal delivery is a kernel entry: serializing
 
@@ -139,6 +140,7 @@ func (k *Kernel) sysSigreturn(t *Thread) {
 	}
 	fr := t.sigFrames[len(t.sigFrames)-1]
 	t.sigFrames = t.sigFrames[:len(t.sigFrames)-1]
+	k.EmitPhase(t, PhSigret, 0, t.Core.Ctx.RIP, "")
 
 	buf, err := t.Proc.AS.KLoad(fr.ucontextAddr, UctxSize)
 	if err != nil {
@@ -174,6 +176,7 @@ func (k *Kernel) blockThread(t *Thread, wake func() bool, desc wakeDesc) {
 	t.wakeDesc = desc
 	t.blockedLen = t.entryLen
 	t.Core.Ctx.RIP -= t.entryLen
+	k.EmitPhase(t, PhBlock, t.Core.Ctx.R[cpu.RAX], t.entrySite, desc.describe())
 }
 
 // interruptBlockedSyscall applies the Linux signal-at-blocked-syscall
@@ -188,6 +191,15 @@ func (k *Kernel) interruptBlockedSyscall(t *Thread, flags uint64) {
 	t.State = ThreadRunnable
 	t.wake = nil
 	t.wakeDesc = wakeDesc{}
+	if k.PhaseHook != nil && t.blockedLen != 0 {
+		ph := PhRestart
+		if flags&SARestart == 0 {
+			ph = PhEINTR
+		}
+		// RIP is still rewound to the entry site; RAX still holds the
+		// number the call blocked with.
+		k.EmitPhase(t, ph, t.Core.Ctx.R[cpu.RAX], t.Core.Ctx.RIP, "")
+	}
 	if flags&SARestart == 0 && t.blockedLen != 0 {
 		if k.EventHook != nil {
 			// The aborted call logically completed with -EINTR: emit its

@@ -194,6 +194,7 @@ type vvarSnap struct {
 type Snapshot struct {
 	vclock      uint64
 	eventSeq    uint64
+	phaseSeq    uint64
 	nextPID     int
 	order       []int
 	profileNext uint64
@@ -237,6 +238,7 @@ func (k *Kernel) Checkpoint(prev *Snapshot) (*Snapshot, error) {
 	s := &Snapshot{
 		vclock:      k.VClock,
 		eventSeq:    k.eventSeq,
+		phaseSeq:    k.phaseSeq,
 		nextPID:     k.nextPID,
 		order:       append([]int(nil), k.order...),
 		profileNext: k.profileNext,
@@ -431,6 +433,7 @@ func (k *Kernel) Restore(s *Snapshot) {
 	k.nextPID = s.nextPID
 	k.VClock = s.vclock
 	k.eventSeq = s.eventSeq
+	k.phaseSeq = s.phaseSeq
 	k.profileNext = s.profileNext
 	k.stopHit = false
 

@@ -199,6 +199,8 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 		costBase = t.Cycles()
 	}
 
+	k.EmitPhase(t, PhTrap, nr, site, "")
+
 	t.charge(k.Cost.Trap)
 	if p.sudEverArmed {
 		// Arming SUD moves every syscall in the process onto a slower
@@ -218,6 +220,10 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 			if k.Tracing() {
 				k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvSudSigsys, Num: nr, Site: site})
 			}
+			// The kernel never services this call: it is diverted to the
+			// SUD handler as SIGSYS. Close the trap span before the signal
+			// span opens (the handler episode tells the rest of the story).
+			k.EmitPhase(t, PhReturn, nr, site, "sud-sigsys")
 			k.deliverSignal(t, SIGSYS, sigInfo{
 				signo:    SIGSYS,
 				syscall:  nr,
@@ -254,6 +260,7 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 				k.emit(Event{PID: p.PID, TID: t.TID, Kind: EvExit, Num: nr, Site: site,
 					Ret: ctx.R[cpu.RAX], Cost: t.Cycles() - costBase, Detail: "suppressed"})
 			}
+			k.EmitPhase(t, PhReturn, nr, site, "suppressed")
 			return
 		}
 		// The tracer may have rewritten the number or arguments.
@@ -276,6 +283,14 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 		t.charge(k.Cost.PtraceStop)
 		p.tracer.SyscallExit(k, t, nr, ret)
 	}
+
+	// A blocked call's span was closed by PhBlock (it re-enters through
+	// its rewound entry instruction and gets a fresh trap span); everything
+	// else — including noReturn exits, whose span the exiting-process
+	// cleanup would otherwise leave dangling — returns here.
+	if t.State != ThreadBlocked {
+		k.EmitPhase(t, PhReturn, nr, site, "")
+	}
 }
 
 // executeSyscall runs the system call service routine and publishes the
@@ -289,6 +304,9 @@ func (k *Kernel) handleSyscall(t *Thread, site uint64) {
 // once; the EINTR abort path emits its own oracle from
 // interruptBlockedSyscall. Cost when disabled: one nil-check.
 func (k *Kernel) executeSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) (ret uint64, noReturn bool) {
+	// Phase mark: kernel service work begins (charged kernel cycles from
+	// here to PhReturn/PhBlock are the "kernel" slice of the span).
+	k.EmitPhase(t, PhKernel, nr, site, "")
 	if k.EventHook == nil {
 		return k.serviceSyscall(t, nr, a, site)
 	}

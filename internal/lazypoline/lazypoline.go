@@ -285,6 +285,7 @@ func (l *Lazypoline) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	site := callAddr - uint64(cpu.SyscallInstLen)
 
 	call := &interpose.Call{Kernel: k, Thread: t, Num: nr, Site: site, Mechanism: interpose.MechSUD}
+	interpose.Phase(call, kernel.PhHandler)
 	for i, r := range cpu.SyscallArgRegs {
 		v, err := as.KLoadU64(uctxAddr + kernel.UctxRegs + uint64(8*int(r)))
 		if err != nil {
@@ -306,19 +307,25 @@ func (l *Lazypoline) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	emulated := false
 	origNum := call.Num
 	if l.Config.Hook != nil {
+		interpose.Phase(call, kernel.PhHook)
 		ret, emulated = l.Config.Hook(call)
 	}
 	if emulated {
 		interpose.Resolve(call, call.Num, true)
+		interpose.Phase(call, kernel.PhEmulate)
 	} else if call.Num != origNum {
 		interpose.Resolve(call, call.Num, false)
 	}
 	if !emulated {
+		interpose.Phase(call, kernel.PhForward)
 		if call.Num == kernel.SysClone {
 			ret = interpose.EmulateClone(k, t, call.Args, callAddr, nil)
 		} else {
 			ret, err = sud.ExecFrame(k, t, st.frameAddr, st.doSyscall, call.Num, call.Args)
 			if err == kernel.ErrGuestWouldBlock {
+				// Re-arm the trapped site so the whole call retries once
+				// the wake condition holds; this handler episode is over.
+				interpose.Phase(call, kernel.PhHandlerRet)
 				return as.KStoreU64(uctxAddr+kernel.UctxRIP, site)
 			}
 			if err != nil {
@@ -329,6 +336,7 @@ func (l *Lazypoline) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	if l.Config.ResultHook != nil {
 		ret = l.Config.ResultHook(call, ret)
 	}
+	interpose.Phase(call, kernel.PhHandlerRet)
 	return as.KStoreU64(uctxAddr+kernel.UctxRegs+uint64(8*int(cpu.RAX)), ret)
 }
 
@@ -421,6 +429,7 @@ func (l *Lazypoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 		return err
 	}
 	site := retAddr - uint64(cpu.CallRegInstLen)
+	k.EmitPhase(t, kernel.PhHandler, ctx.R[cpu.RAX], site, interpose.MechRewrite.String())
 	st.stats.Rewritten++
 
 	call := &interpose.Call{
@@ -436,8 +445,10 @@ func (l *Lazypoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 	interpose.Observe(call)
 	if l.Config.Hook != nil {
 		origNum := call.Num
+		interpose.Phase(call, kernel.PhHook)
 		if ret, emulated := l.Config.Hook(call); emulated {
 			interpose.Resolve(call, call.Num, true)
+			interpose.Phase(call, kernel.PhEmulate)
 			ctx.R[cpu.RAX] = ret
 			ctx.R[cpu.R11] = 1
 			return nil
@@ -451,10 +462,12 @@ func (l *Lazypoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 		}
 	}
 	if call.Num == kernel.SysClone {
+		interpose.Phase(call, kernel.PhForward)
 		ctx.R[cpu.RAX] = interpose.EmulateClone(k, t, call.Args, retAddr, nil)
 		ctx.R[cpu.R11] = 1
 		return nil
 	}
+	interpose.Phase(call, kernel.PhForward)
 	ctx.R[cpu.R11] = 0
 	return nil
 }
@@ -465,14 +478,14 @@ func (l *Lazypoline) hcExitFn(k *kernel.Kernel, t *kernel.Thread) error {
 	if err != nil {
 		return err
 	}
-	if l.Config.ResultHook == nil {
-		return nil
-	}
-	ctx := &t.Core.Ctx
 	call := st.last[t.TID]
 	if call == nil {
 		call = &interpose.Call{Kernel: k, Thread: t, Mechanism: interpose.MechRewrite}
 	}
-	ctx.R[cpu.RAX] = l.Config.ResultHook(call, ctx.R[cpu.RAX])
+	ctx := &t.Core.Ctx
+	if l.Config.ResultHook != nil {
+		ctx.R[cpu.RAX] = l.Config.ResultHook(call, ctx.R[cpu.RAX])
+	}
+	interpose.Phase(call, kernel.PhHandlerRet)
 	return nil
 }

@@ -28,16 +28,36 @@ type jsonRecord struct {
 	Detail  string   `json:"detail,omitempty"`
 }
 
-// WriteJSONL emits one JSON object per record, oldest first — the
-// machine-readable trace format consumed by cmd/obsvcheck.
+// jsonHeader is the dump-header line preceding a machine's records. The
+// recorder's sequence numbers are monotonic from zero, so the first
+// retained record's Seq IS the number of events the ring overwrote; the
+// header makes that loss explicit instead of leaving readers to infer it.
+type jsonHeader struct {
+	Hdr      string `json:"hdr"` // always "trace"
+	Machine  string `json:"m,omitempty"`
+	Retained int    `json:"retained"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// WriteJSONL emits a dump header followed by one JSON object per record,
+// oldest first — the machine-readable trace format consumed by
+// cmd/obsvcheck.
 func WriteJSONL(w io.Writer, recs []Record) error {
 	return WriteJSONLTagged(w, recs, "")
 }
 
-// WriteJSONLTagged is WriteJSONL with a machine tag on every record, so
-// per-machine fleet streams can share one file and still validate.
+// WriteJSONLTagged is WriteJSONL with a machine tag on the header and
+// every record, so per-machine fleet streams can share one file and
+// still validate.
 func WriteJSONLTagged(w io.Writer, recs []Record, machine string) error {
 	enc := json.NewEncoder(w)
+	hdr := jsonHeader{Hdr: "trace", Machine: machine, Retained: len(recs)}
+	if len(recs) > 0 {
+		hdr.Dropped = recs[0].Seq
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
 	for _, r := range recs {
 		jr := jsonRecord{
 			Machine: machine,

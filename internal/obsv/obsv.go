@@ -18,6 +18,7 @@ package obsv
 import (
 	"k23/internal/audit"
 	"k23/internal/kernel"
+	"k23/internal/span"
 )
 
 // Options selects which collectors an Observer runs.
@@ -37,21 +38,28 @@ type Options struct {
 	// ground-truth oracle stream joined against per-mechanism
 	// attribution claims (internal/audit).
 	Audit bool
+	// Spans enables the causal span tracer (internal/span): phase marks
+	// from the kernel's side-stream assembled into per-syscall span
+	// trees with critical-path attribution.
+	Spans bool
+	// Machine tags span sets (fleet merges key spans by machine).
+	Machine string
 }
 
 // Enabled reports whether any collector is requested.
 func (o Options) Enabled() bool {
-	return o.Trace || o.Metrics || o.Audit || o.ProfileEvery != 0
+	return o.Trace || o.Metrics || o.Audit || o.Spans || o.ProfileEvery != 0
 }
 
 // Observer bundles the collectors for one kernel (one World). Create
 // with New, attach with Install, read with Snapshot.
 type Observer struct {
-	Opts     Options
-	Ring     *Recorder      // nil unless Opts.Trace
-	Metrics  *Metrics       // nil unless Opts.Metrics
-	Profiler *Profiler      // nil unless Opts.ProfileEvery != 0
-	Audit    *audit.Auditor // nil unless Opts.Audit
+	Opts        Options
+	Ring        *Recorder      // nil unless Opts.Trace
+	Metrics     *Metrics       // nil unless Opts.Metrics
+	Profiler    *Profiler      // nil unless Opts.ProfileEvery != 0
+	Audit       *audit.Auditor // nil unless Opts.Audit
+	SpanBuilder *span.Builder  // nil unless Opts.Spans
 
 	k *kernel.Kernel // set by Install; used for symbolization
 }
@@ -72,6 +80,10 @@ func New(opts Options) *Observer {
 	if opts.Audit {
 		o.Audit = audit.New(SyscallName)
 	}
+	if opts.Spans {
+		o.SpanBuilder = span.NewBuilder(opts.Machine)
+		o.SpanBuilder.Names = SyscallName
+	}
 	return o
 }
 
@@ -82,8 +94,11 @@ func New(opts Options) *Observer {
 // event hasher keeps running).
 func (o *Observer) Install(k *kernel.Kernel) {
 	o.k = k
-	if o.Ring != nil || o.Metrics != nil || o.Audit != nil {
+	if o.Ring != nil || o.Metrics != nil || o.Audit != nil || o.SpanBuilder != nil {
 		o.installEventHook(k)
+	}
+	if o.SpanBuilder != nil {
+		o.installSpanHooks(k)
 	}
 	if o.Profiler != nil {
 		k.SetProfile(o.Opts.ProfileEvery, o.Profiler.Sample)
@@ -91,7 +106,7 @@ func (o *Observer) Install(k *kernel.Kernel) {
 }
 
 func (o *Observer) installEventHook(k *kernel.Kernel) {
-	ring, metrics, auditor := o.Ring, o.Metrics, o.Audit
+	ring, metrics, auditor, spans := o.Ring, o.Metrics, o.Audit, o.SpanBuilder
 	k.AddEventHook(func(e kernel.Event) {
 		// Pass down by pointer: the collectors only read the event for
 		// the duration of the call, and the hook fires per syscall.
@@ -103,6 +118,9 @@ func (o *Observer) installEventHook(k *kernel.Kernel) {
 		}
 		if auditor != nil {
 			auditor.Handle(&e)
+		}
+		if spans != nil {
+			spans.HandleEvent(e)
 		}
 	})
 }
@@ -129,6 +147,9 @@ type Snapshot struct {
 	Profile *ProfileSnapshot `json:"profile,omitempty"`
 	// Audit is nil when the auditor was off.
 	Audit *audit.Snapshot `json:"audit,omitempty"`
+	// Spans holds per-machine span sets (one per observer; more after
+	// Merge), in deterministic machine order.
+	Spans []*span.Set `json:"-"`
 }
 
 // Snapshot freezes the observer's state. Call after the machine has
@@ -152,6 +173,9 @@ func (o *Observer) Snapshot() *Snapshot {
 	}
 	if o.Audit != nil {
 		s.Audit = o.Audit.Snapshot()
+	}
+	if o.SpanBuilder != nil {
+		s.Spans = []*span.Set{o.SpanBuilder.Finish()}
 	}
 	return s
 }
@@ -182,5 +206,8 @@ func (s *Snapshot) Merge(other *Snapshot) {
 			s.Audit = &audit.Snapshot{}
 		}
 		s.Audit.Merge(other.Audit)
+	}
+	if len(other.Spans) != 0 {
+		s.Spans = span.Merge(append(s.Spans, other.Spans...))
 	}
 }

@@ -19,10 +19,14 @@ import (
 //   - clock is non-decreasing
 //   - "enter" records carry name and args; "exit" records carry name
 //     and ret
+//   - a dump header ({"hdr":"trace",...}), when present, agrees with
+//     its machine's records: dropped equals the first retained seq and
+//     retained equals the record count
 //
 // Monotonicity is scoped by the optional "m" (machine) tag, so one
 // file can carry the independent per-machine streams of a fleet run.
-// The first violation is returned with its 1-based line number.
+// Headers are optional so pre-header dumps stay valid. The first
+// violation is returned with its 1-based line number.
 func ValidateJSONL(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -32,6 +36,13 @@ func ValidateJSONL(r io.Reader) (int, error) {
 		seq, clock uint64
 	}
 	last := make(map[string]cursor)
+	type hdrState struct {
+		dropped  uint64
+		retained int
+		seen     int // records observed after the header
+		line     int
+	}
+	headers := make(map[string]*hdrState)
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -41,6 +52,21 @@ func ValidateJSONL(r io.Reader) (int, error) {
 		var m map[string]json.RawMessage
 		if err := json.Unmarshal(raw, &m); err != nil {
 			return count, fmt.Errorf("line %d: not a JSON object: %v", line, err)
+		}
+		if _, isHdr := m["hdr"]; isHdr {
+			var h jsonHeader
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return count, fmt.Errorf("line %d: bad header: %v", line, err)
+			}
+			if h.Hdr != "trace" {
+				return count, fmt.Errorf("line %d: unknown header type %q", line, h.Hdr)
+			}
+			if prev, dup := headers[h.Machine]; dup {
+				return count, fmt.Errorf("line %d: duplicate header for machine %q (first at line %d)",
+					line, h.Machine, prev.line)
+			}
+			headers[h.Machine] = &hdrState{dropped: h.Dropped, retained: h.Retained, line: line}
+			continue
 		}
 		for _, req := range []string{"seq", "clock", "pid", "tid", "kind"} {
 			if _, ok := m[req]; !ok {
@@ -62,6 +88,13 @@ func ValidateJSONL(r io.Reader) (int, error) {
 			if rec.Clock < prev.clock {
 				return count, fmt.Errorf("line %d: clock %d before previous %d", line, rec.Clock, prev.clock)
 			}
+		} else if h, ok := headers[rec.Machine]; ok && rec.Seq != h.dropped {
+			// First retained record: its seq IS the drop count.
+			return count, fmt.Errorf("line %d: header declares %d dropped events but first retained seq is %d",
+				line, h.dropped, rec.Seq)
+		}
+		if h, ok := headers[rec.Machine]; ok {
+			h.seen++
 		}
 		last[rec.Machine] = cursor{seq: rec.Seq, clock: rec.Clock}
 		switch kind {
@@ -91,6 +124,12 @@ func ValidateJSONL(r io.Reader) (int, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return count, fmt.Errorf("line %d: %v", line, err)
+	}
+	for m, h := range headers {
+		if h.seen != h.retained {
+			return count, fmt.Errorf("line %d: header for machine %q declares %d retained records, stream has %d",
+				h.line, m, h.retained, h.seen)
+		}
 	}
 	return count, nil
 }

@@ -1,0 +1,118 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"k23/internal/kernel"
+	"k23/internal/span"
+)
+
+// Span integration: the observer owns a span.Builder fed from two
+// kernel streams — the phase-mark side-stream (its own hook and ordinal,
+// so recordings and seq-anchored goldens stay bit-identical with spans
+// on or off) and the main event stream (annotations: return values,
+// mechanism attribution, chaos and clone cause edges).
+
+// installSpanHooks attaches the builder's phase consumer. The event-side
+// consumer rides the shared event hook (installEventHook).
+func (o *Observer) installSpanHooks(k *kernel.Kernel) {
+	k.AddPhaseHook(o.SpanBuilder.HandlePhase)
+}
+
+// SpanPhaseHists aggregates slice self-cycles into per-(mechanism, phase)
+// histograms, reusing the metrics layer's log2 Hist so the Prometheus
+// exposition matches the per-syscall cost histograms bucket-for-bucket.
+type SpanPhaseHist struct {
+	Mech  string `json:"mech"`
+	Phase string `json:"phase"`
+	Hist  Hist   `json:"latency"`
+}
+
+// SpanPhaseHists builds sorted per-(mech, phase) histograms from span
+// sets. Deterministic: ordering is (mech, phase).
+func SpanPhaseHists(sets []*span.Set) []SpanPhaseHist {
+	type key struct{ mech, phase string }
+	agg := make(map[key]*SpanPhaseHist)
+	for _, s := range span.Merge(sets) {
+		byID := make(map[uint64]*span.Span, len(s.Spans))
+		for _, sp := range s.Spans {
+			byID[sp.ID] = sp
+		}
+		for _, sp := range s.Spans {
+			mech := sp.Mech
+			for cur := sp; mech == "" && cur != nil && cur.Parent != 0; {
+				cur = byID[cur.Parent]
+				if cur != nil {
+					mech = cur.Mech
+				}
+			}
+			if mech == "" {
+				mech = "kernel"
+			}
+			for _, sl := range sp.Slices {
+				k := key{mech, sl.Phase}
+				h := agg[k]
+				if h == nil {
+					h = &SpanPhaseHist{Mech: mech, Phase: sl.Phase}
+					agg[k] = h
+				}
+				h.Hist.Observe(sl.Y1 - sl.Y0)
+			}
+		}
+	}
+	out := make([]SpanPhaseHist, 0, len(agg))
+	for _, h := range agg {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mech != out[j].Mech {
+			return out[i].Mech < out[j].Mech
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// WriteSpanPrometheus appends the span layer's per-mechanism phase-cost
+// histograms to a Prometheus exposition (same label conventions as
+// MetricsSnapshot.WritePrometheus).
+func WriteSpanPrometheus(w io.Writer, sets []*span.Set, extraLabels [][2]string) {
+	hists := SpanPhaseHists(sets)
+	lbl := func(pairs ...[2]string) string {
+		all := append(append([][2]string{}, extraLabels...), pairs...)
+		if len(all) == 0 {
+			return ""
+		}
+		out := "{"
+		for i, p := range all {
+			if i > 0 {
+				out += ","
+			}
+			out += fmt.Sprintf("%s=%q", p[0], p[1])
+		}
+		return out + "}"
+	}
+	fmt.Fprintln(w, "# HELP k23_span_phase_cost_cycles Span-layer self cycles per interposition mechanism and lifecycle phase (log2 buckets).")
+	fmt.Fprintln(w, "# TYPE k23_span_phase_cost_cycles histogram")
+	for i := range hists {
+		h := &hists[i]
+		base := [][2]string{{"mech", h.Mech}, {"phase", h.Phase}}
+		var cum uint64
+		for b := 0; b < HistBuckets; b++ {
+			if h.Hist.Buckets[b] == 0 {
+				continue
+			}
+			cum += h.Hist.Buckets[b]
+			le := fmt.Sprintf("%d", BucketUpperBound(b))
+			if b == HistBuckets-1 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(w, "k23_span_phase_cost_cycles_bucket%s %d\n",
+				lbl(append(append([][2]string{}, base...), [2]string{"le", le})...), cum)
+		}
+		fmt.Fprintf(w, "k23_span_phase_cost_cycles_sum%s %d\n", lbl(base...), h.Hist.Sum)
+		fmt.Fprintf(w, "k23_span_phase_cost_cycles_count%s %d\n", lbl(base...), h.Hist.Count)
+	}
+}

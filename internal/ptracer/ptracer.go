@@ -52,19 +52,27 @@ func (tr *tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site uint
 		Site:      site,
 		Mechanism: interpose.MechPtrace,
 	}
+	// The handler span covers the enter stop only; the kernel slice that
+	// follows lands in the enclosing trap span.
+	interpose.Phase(call, kernel.PhHandler)
 	for i := range call.Args {
 		call.Args[i] = regs.Arg(i)
 	}
 	tr.st.last[t.TID] = call
 	interpose.Observe(call)
 	if tr.pt.Config.Hook == nil {
+		interpose.Phase(call, kernel.PhForward)
+		interpose.Phase(call, kernel.PhHandlerRet)
 		return false
 	}
 	origNum := call.Num
+	interpose.Phase(call, kernel.PhHook)
 	ret, emulated := tr.pt.Config.Hook(call)
 	if emulated {
 		interpose.Resolve(call, call.Num, true)
+		interpose.Phase(call, kernel.PhEmulate)
 		regs.R[cpu.RAX] = ret
+		interpose.Phase(call, kernel.PhHandlerRet)
 		return true
 	}
 	if call.Num != origNum {
@@ -74,6 +82,8 @@ func (tr *tracer) SyscallEnter(k *kernel.Kernel, t *kernel.Thread, nr, site uint
 	for i, a := range call.Args {
 		regs.SetArg(i, a)
 	}
+	interpose.Phase(call, kernel.PhForward)
+	interpose.Phase(call, kernel.PhHandlerRet)
 	return false
 }
 

@@ -1,0 +1,107 @@
+package rr
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"k23/internal/apps"
+	"k23/internal/interpose"
+	"k23/internal/kernel"
+	"k23/internal/obsv"
+	"k23/internal/span"
+)
+
+// spanAttach returns a BeforeLaunch hook installing a span-building
+// observer, plus a getter for the resulting canonical span JSONL bytes.
+func spanAttach() (func(w *interpose.World), func(t *testing.T) []byte) {
+	var obs *obsv.Observer
+	attach := func(w *interpose.World) {
+		obs = obsv.New(obsv.Options{Spans: true})
+		obs.Install(w.K)
+	}
+	dump := func(t *testing.T) []byte {
+		t.Helper()
+		if obs == nil {
+			t.Fatal("observer was never attached")
+		}
+		var buf bytes.Buffer
+		if err := span.WriteJSONL(&buf, obs.Snapshot().Spans...); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		return buf.Bytes()
+	}
+	return attach, dump
+}
+
+// TestReplayDerivedTraceParity is the retroactive-tracing contract: a
+// span trace derived from replaying an untraced recording must be
+// byte-identical to the trace of a live-traced run of the same workload.
+// Phase marks flow on a side-stream (own ordinal counter, never through
+// the recorded event sequence), so span building cannot perturb either
+// the recording or the replay — which this test proves across three
+// apps, each with two distinct chaos seeds, plus a chaos-free baseline.
+func TestReplayDerivedTraceParity(t *testing.T) {
+	chaos := kernel.DefaultChaosProfile()
+	base := []RunSpec{
+		{Name: "pwd", Path: apps.PwdPath, Argv: []string{"pwd"}, Seed: 7, CheckpointEvery: 30_000},
+		{Name: "ls", Path: apps.LsPath, Argv: []string{"ls", "/data"}, Seed: 10, CheckpointEvery: 30_000},
+		{Name: "cat", Path: apps.CatPath, Argv: []string{"cat", "/data/notes.txt"}, Seed: 11, CheckpointEvery: 30_000},
+	}
+	var specs []RunSpec
+	for _, b := range base {
+		specs = append(specs, b)
+		for _, cs := range []uint64{1, 2} {
+			s := b
+			s.Name = fmt.Sprintf("%s-chaos%d", b.Name, cs)
+			s.Chaos = &chaos
+			s.ChaosSeed = cs
+			specs = append(specs, s)
+		}
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			// Live-traced recording.
+			liveAttach, liveDump := spanAttach()
+			live, err := Record(spec, Hooks{BeforeLaunch: liveAttach})
+			if err != nil {
+				t.Fatalf("Record (traced): %v", err)
+			}
+			if err := live.Run(); err != nil {
+				t.Fatalf("traced Run: %v", err)
+			}
+			liveBytes := liveDump(t)
+			if len(liveBytes) == 0 {
+				t.Fatal("live trace is empty")
+			}
+
+			// Untraced recording of the same workload: span building
+			// must not have perturbed what got recorded.
+			plain := record(t, spec)
+			if err := plain.Rec.EquivalentTo(live.Rec); err != nil {
+				t.Fatalf("span observer perturbed the recording: %v", err)
+			}
+
+			// Retroactive trace from the untraced recording.
+			retroAttach, retroDump := spanAttach()
+			if _, err := Retrace(plain.Rec, retroAttach); err != nil {
+				t.Fatalf("Retrace: %v", err)
+			}
+			retroBytes := retroDump(t)
+
+			if !bytes.Equal(liveBytes, retroBytes) {
+				t.Errorf("replay-derived trace differs from live trace (%d vs %d bytes)",
+					len(liveBytes), len(retroBytes))
+			}
+			// The derived trace stands on its own: it validates.
+			rep, err := span.ValidateJSONL(bytes.NewReader(retroBytes))
+			if err != nil || !rep.Ok() {
+				t.Fatalf("derived trace invalid: %v %v", err, rep.Problems)
+			}
+			if spec.Chaos != nil && rep.Spans == 0 {
+				t.Error("chaos run produced no spans")
+			}
+		})
+	}
+}

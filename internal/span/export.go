@@ -1,0 +1,245 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL envelope: one header line per machine set followed by its spans.
+//
+//	{"t":"spanhdr","machine":"m0","spans":12,"hash":"a1b2..."}
+//	{"t":"span","id":1,...}
+//
+// The encoding is canonical — field order is fixed by the struct
+// definitions — so byte equality of two exports is span-set equality,
+// which is what the replay-parity test asserts.
+
+type headerLine struct {
+	T       string `json:"t"`
+	Machine string `json:"machine"`
+	Spans   int    `json:"spans"`
+	Hash    string `json:"hash"`
+}
+
+type spanLine struct {
+	T string `json:"t"`
+	*Span
+}
+
+func marshalSpan(sp *Span) ([]byte, error) {
+	return json.Marshal(spanLine{T: "span", Span: sp})
+}
+
+// WriteJSONL writes the sets in deterministic merge order.
+func WriteJSONL(w io.Writer, sets ...*Set) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range Merge(sets) {
+		hdr, err := json.Marshal(headerLine{
+			T: "spanhdr", Machine: s.Machine, Spans: len(s.Spans),
+			Hash: fmt.Sprintf("%016x", s.Hash()),
+		})
+		if err != nil {
+			return err
+		}
+		bw.Write(hdr)
+		bw.WriteByte('\n')
+		for _, sp := range s.Spans {
+			line, err := marshalSpan(sp)
+			if err != nil {
+				return err
+			}
+			bw.Write(line)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a span JSONL stream back into per-machine sets. Each
+// header's declared span count and content hash are verified against the
+// spans that follow it — the encoding is canonical, so a recomputed hash
+// mismatch means the file was edited or truncated after export.
+func ReadJSONL(r io.Reader) ([]*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var sets []*Set
+	var declared []headerLine
+	var cur *Set
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("span jsonl line %d: %w", lineNo, err)
+		}
+		switch probe.T {
+		case "spanhdr":
+			var h headerLine
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("span jsonl line %d: %w", lineNo, err)
+			}
+			cur = &Set{Machine: h.Machine}
+			sets = append(sets, cur)
+			declared = append(declared, h)
+		case "span":
+			if cur == nil {
+				return nil, fmt.Errorf("span jsonl line %d: span before spanhdr", lineNo)
+			}
+			sp := &Span{}
+			if err := json.Unmarshal(raw, &spanLine{Span: sp}); err != nil {
+				return nil, fmt.Errorf("span jsonl line %d: %w", lineNo, err)
+			}
+			sp.Machine = cur.Machine
+			cur.Spans = append(cur.Spans, sp)
+		default:
+			return nil, fmt.Errorf("span jsonl line %d: unknown record type %q", lineNo, probe.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i, s := range sets {
+		h := declared[i]
+		if len(s.Spans) != h.Spans {
+			return nil, fmt.Errorf("span jsonl: machine %q header declares %d spans, stream has %d",
+				s.Machine, h.Spans, len(s.Spans))
+		}
+		if got := fmt.Sprintf("%016x", s.Hash()); got != h.Hash {
+			return nil, fmt.Errorf("span jsonl: machine %q content hash %s does not match header %s (edited or corrupted)",
+				s.Machine, got, h.Hash)
+		}
+	}
+	return sets, nil
+}
+
+// ---------------------------------------------------------------------
+// Chrome/Perfetto trace_event export
+// ---------------------------------------------------------------------
+
+// perfettoEvent is one trace_event record. Timestamps use the owning
+// thread's cycle account (per-track monotone; the global virtual clock
+// does not advance during charged kernel work, so clock-based durations
+// would collapse to zero). Cause edges become flow events.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  string         `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func spanDisplayName(sp *Span) string {
+	name := sp.Name
+	if name == "" {
+		name = fmt.Sprintf("%s:%d", sp.Kind, sp.Num)
+	}
+	if sp.Kind == KindHandler && sp.Mech != "" {
+		name = sp.Mech + ":" + name
+	}
+	return name
+}
+
+// WritePerfetto renders the sets as a Chrome trace_event JSON document
+// loadable by Perfetto/chrome://tracing. One process track per
+// (machine, pid); spans are complete ("X") events, phase slices nest
+// inside them, and cause edges are flow ("s"/"f") pairs.
+func WritePerfetto(w io.Writer, sets ...*Set) error {
+	var evs []perfettoEvent
+	for _, s := range Merge(sets) {
+		for _, sp := range s.Spans {
+			track := fmt.Sprintf("%s/p%d", s.Machine, sp.PID)
+			args := map[string]any{
+				"id":   sp.ID,
+				"kind": sp.Kind,
+				"num":  sp.Num,
+				"site": fmt.Sprintf("%#x", sp.Site),
+			}
+			if sp.Mech != "" {
+				args["mech"] = sp.Mech
+			}
+			if sp.HasRet {
+				args["ret"] = int64(sp.Ret)
+			}
+			if sp.Blocked {
+				args["blocked"] = true
+				args["wake"] = sp.WakeReason
+			}
+			if sp.Chaos != "" {
+				args["chaos"] = sp.Chaos
+			}
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			dur := sp.Y1 - sp.Y0
+			if dur == 0 {
+				dur = 1 // zero-width spans are invisible in the UI
+			}
+			evs = append(evs, perfettoEvent{
+				Name: spanDisplayName(sp), Cat: sp.Kind, Ph: "X",
+				TS: sp.Y0, Dur: dur, PID: track, TID: sp.TID, Args: args,
+			})
+			for _, sl := range sp.Slices {
+				if sl.Y1 == sl.Y0 {
+					continue
+				}
+				evs = append(evs, perfettoEvent{
+					Name: sl.Phase, Cat: "phase", Ph: "X",
+					TS: sl.Y0, Dur: sl.Y1 - sl.Y0, PID: track, TID: sp.TID,
+				})
+			}
+			if sp.Cause != 0 {
+				// Flow from the cause span's end to this span's start.
+				cause := findSpan(s, sp.Cause)
+				if cause != nil {
+					evs = append(evs, perfettoEvent{
+						Name: sp.CauseKind, Cat: "cause", Ph: "s",
+						TS: cause.Y1, PID: track, TID: cause.TID, ID: sp.ID,
+					})
+					evs = append(evs, perfettoEvent{
+						Name: sp.CauseKind, Cat: "cause", Ph: "f", BP: "e",
+						TS: sp.Y0, PID: track, TID: sp.TID, ID: sp.ID,
+					})
+				}
+			}
+		}
+	}
+	doc := struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+		Meta        map[string]any  `json:"otherData"`
+	}{
+		TraceEvents: evs,
+		Meta:        map[string]any{"clock": "virtual-cycles"},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// findSpan locates a span by ID inside one set (IDs are sorted).
+func findSpan(s *Set, id uint64) *Span {
+	lo, hi := 0, len(s.Spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Spans[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.Spans) && s.Spans[lo].ID == id {
+		return s.Spans[lo]
+	}
+	return nil
+}

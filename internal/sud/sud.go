@@ -275,6 +275,7 @@ func (s *SUD) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 		Site:      site,
 		Mechanism: interpose.MechSUD,
 	}
+	interpose.Phase(call, kernel.PhHandler)
 	for i, r := range cpu.SyscallArgRegs {
 		v, err := as.KLoadU64(uctxAddr + kernel.UctxRegs + uint64(8*int(r)))
 		if err != nil {
@@ -289,14 +290,17 @@ func (s *SUD) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	emulated := false
 	origNum := call.Num
 	if s.Config.Hook != nil {
+		interpose.Phase(call, kernel.PhHook)
 		ret, emulated = s.Config.Hook(call)
 	}
 	if emulated {
 		interpose.Resolve(call, call.Num, true)
+		interpose.Phase(call, kernel.PhEmulate)
 	} else if call.Num != origNum {
 		interpose.Resolve(call, call.Num, false)
 	}
 	if !emulated {
+		interpose.Phase(call, kernel.PhForward)
 		if call.Num == kernel.SysClone {
 			// See interpose.EmulateClone: the child must not resume
 			// inside the do-syscall stub with a frameless stack.
@@ -312,6 +316,7 @@ func (s *SUD) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 			if err == kernel.ErrGuestWouldBlock {
 				// Blocking call: resume the application at the trapped
 				// instruction so it retries (and re-traps) once woken.
+				interpose.Phase(call, kernel.PhHandlerRet)
 				return as.KStoreU64(uctxAddr+kernel.UctxRIP, site)
 			}
 			if err != nil {
@@ -322,6 +327,7 @@ func (s *SUD) hcSigsysFn(k *kernel.Kernel, t *kernel.Thread) error {
 	if s.Config.ResultHook != nil {
 		ret = s.Config.ResultHook(call, ret)
 	}
+	interpose.Phase(call, kernel.PhHandlerRet)
 	// Emulate the return by rewriting the saved context's RAX.
 	return as.KStoreU64(uctxAddr+kernel.UctxRegs+uint64(8*int(cpu.RAX)), ret)
 }

@@ -348,6 +348,7 @@ func (z *Zpoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 		return fmt.Errorf("zpoline: cannot read return address: %w", err)
 	}
 	site := retAddr - uint64(cpu.CallRegInstLen)
+	k.EmitPhase(t, kernel.PhHandler, ctx.R[cpu.RAX], site, interpose.MechRewrite.String())
 
 	if z.Config.NullExecCheck {
 		// Bitmap validation: abort unless the call originated from a
@@ -374,8 +375,10 @@ func (z *Zpoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 	interpose.Observe(call)
 	if z.Config.Hook != nil {
 		origNum := call.Num
+		interpose.Phase(call, kernel.PhHook)
 		if ret, emulated := z.Config.Hook(call); emulated {
 			interpose.Resolve(call, call.Num, true)
+			interpose.Phase(call, kernel.PhEmulate)
 			ctx.R[cpu.RAX] = ret
 			ctx.R[cpu.R11] = 1
 			return nil
@@ -392,10 +395,14 @@ func (z *Zpoline) hcEnterFn(k *kernel.Kernel, t *kernel.Thread) error {
 	if call.Num == kernel.SysClone {
 		// clone must not execute inside the handler: the child would
 		// resume here with a frameless stack (see interpose.EmulateClone).
+		interpose.Phase(call, kernel.PhForward)
 		ctx.R[cpu.RAX] = interpose.EmulateClone(k, t, call.Args, retAddr, nil)
 		ctx.R[cpu.R11] = 1
 		return nil
 	}
+	// The trampoline re-issues the (possibly renumbered) call with a real
+	// SYSCALL instruction next.
+	interpose.Phase(call, kernel.PhForward)
 	ctx.R[cpu.R11] = 0
 	return nil
 }
@@ -406,15 +413,15 @@ func (z *Zpoline) hcExitFn(k *kernel.Kernel, t *kernel.Thread) error {
 	if err != nil {
 		return err
 	}
-	if z.Config.ResultHook == nil {
-		return nil
-	}
-	ctx := &t.Core.Ctx
 	call := st.last[t.TID]
 	if call == nil {
 		call = &interpose.Call{Kernel: k, Thread: t, Mechanism: interpose.MechRewrite}
 	}
-	ctx.R[cpu.RAX] = z.Config.ResultHook(call, ctx.R[cpu.RAX])
+	ctx := &t.Core.Ctx
+	if z.Config.ResultHook != nil {
+		ctx.R[cpu.RAX] = z.Config.ResultHook(call, ctx.R[cpu.RAX])
+	}
+	interpose.Phase(call, kernel.PhHandlerRet)
 	return nil
 }
 
