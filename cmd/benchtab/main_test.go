@@ -190,6 +190,27 @@ func TestGoldenPhases(t *testing.T) {
 	checkGolden(t, "phases.golden", bench.FormatPhases(rows))
 }
 
+// TestGoldenSfip pins `benchtab -claim sfip` (E21): the two-pass
+// pitfall-trip matrix (training escapes, learned policy sizes, and
+// enforcement trips/denials per Table 3 cell), the nine-application
+// self-training false-positive table, and the micro hot-path cost in
+// virtual cycles. Everything is simulated and two deterministic passes
+// of the same PoCs, so drift means the learner, the enforcer, or an
+// interposer's escape behavior actually changed.
+func TestGoldenSfip(t *testing.T) {
+	got, err := bench.SfipTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "trips under enforcement: PASS") {
+		t.Errorf("sfip trip criterion failed:\n%s", got)
+	}
+	if !strings.Contains(got, "false-positive total: 0") {
+		t.Errorf("sfip false-positive criterion failed:\n%s", got)
+	}
+	checkGolden(t, "sfip.golden", got)
+}
+
 // TestGoldenCoverage pins the audited coverage matrices (E17): the
 // full per-syscall x per-mechanism counts, escapes by taxonomy
 // category, and TTFC for every coverage app under every coverage

@@ -7,6 +7,7 @@
 //	k23 [-variant NAME] [-trace] [-stats] [-metrics FILE] [-prom FILE]
 //	    [-trace-json FILE] [-profile FILE] [-folded FILE]
 //	    [-profile-every N] [-audit] [-audit-json FILE]
+//	    [-sfip-learn FILE] [-sfip FILE] [-sfip-mode MODE] [-sfip-json FILE]
 //	    [-spans FILE] [-perfetto FILE] [-critpath] PROG [ARGS...]
 //
 // PROG is one of the registered workloads (pwd, touch, ls, cat, clear,
@@ -31,6 +32,7 @@ import (
 	"k23/internal/interpose/variants"
 	"k23/internal/kernel"
 	"k23/internal/obsv"
+	"k23/internal/sfip"
 	"k23/internal/span"
 )
 
@@ -110,6 +112,28 @@ func writeSpanOutputs(sets []*span.Set, spansOut, perfettoOut string, critPath b
 	}
 }
 
+// writeSfipOutputs emits the SFIP artifacts shared by the plain and
+// record/replay paths: the learned policy and/or the enforcement report.
+func writeSfipOutputs(o *obsv.Observer, learnOut, reportOut string) {
+	snap := o.Snapshot()
+	if learnOut != "" && snap.SfipPolicy != nil {
+		p := snap.SfipPolicy
+		fmt.Fprintf(os.Stderr, "[sfip] learned policy: %d origin(s), %d edge(s), hash %#x\n",
+			p.Origins(), p.Edges(), p.Hash())
+		writeFile(learnOut, "SFIP policy JSONL", func(f *os.File) error {
+			return p.WriteJSONL(f)
+		})
+	}
+	if rep := snap.Sfip; rep != nil {
+		rep.Format(os.Stderr)
+		if reportOut != "" {
+			writeFile(reportOut, "SFIP report JSONL", func(f *os.File) error {
+				return rep.WriteJSONL(f)
+			})
+		}
+	}
+}
+
 func main() {
 	variant := flag.String("variant", "k23-ultra", "interposer variant (see -list)")
 	trace := flag.Bool("trace", false, "record and print a strace-style syscall trace")
@@ -123,6 +147,10 @@ func main() {
 		"sample guest RIP every N virtual ticks (0 = default when -profile/-folded set)")
 	auditFlag := flag.Bool("audit", false, "join the kernel's ground-truth syscall stream against the interposer's claims and print the audit report (coverage, escapes, TTFC)")
 	auditJSON := flag.String("audit-json", "", "write the audit report as JSONL to FILE (validate with obsvcheck -audit)")
+	sfipLearn := flag.String("sfip-learn", "", "train a syscall-flow-integrity policy on this run (audit-classified, escapes excluded) and write it as JSONL to FILE (validate with obsvcheck -sfip-policy)")
+	sfipIn := flag.String("sfip", "", "load a learned SFIP policy from FILE and check the run's trap-origin syscalls against it (posture set by -sfip-mode)")
+	sfipModeFlag := flag.String("sfip-mode", "enforce", "SFIP posture with -sfip: log (report violations, perturb nothing) or enforce (deny violations with EPERM)")
+	sfipJSON := flag.String("sfip-json", "", "write the SFIP enforcement report as JSONL to FILE (validate with obsvcheck -sfip)")
 	spansOut := flag.String("spans", "", "assemble causal syscall-lifecycle spans and write them as JSONL to FILE (validate with obsvcheck -spans; with -replay, derives the trace retroactively)")
 	perfettoOut := flag.String("perfetto", "", "write the span trace as Chrome/Perfetto trace_event JSON to FILE (open in ui.perfetto.dev)")
 	critPath := flag.Bool("critpath", false, "print the critical path of the longest syscall lifecycle chain (requires -spans or -perfetto)")
@@ -171,6 +199,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	sfipMode, err := sfip.ParseMode(*sfipModeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k23:", err)
+		os.Exit(2)
+	}
+	var sfipPolicy *sfip.Policy
+	if *sfipIn != "" {
+		f, err := os.Open(*sfipIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: sfip:", err)
+			os.Exit(2)
+		}
+		sfipPolicy, err = sfip.ReadPolicy(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "k23: sfip: %s: %v\n", *sfipIn, err)
+			os.Exit(2)
+		}
+	}
+
 	if *recordOut != "" || *replayIn != "" {
 		c := rrCLI{
 			recordOut: *recordOut, replayIn: *replayIn, until: *untilSeqs,
@@ -179,6 +227,8 @@ func main() {
 			trace: *trace, stats: *stats,
 			audit: *auditFlag, auditJSON: *auditJSON, ring: *ringSize,
 			spansOut: *spansOut, perfettoOut: *perfettoOut, critPath: *critPath,
+			sfipLearn: *sfipLearn, sfipPolicy: sfipPolicy,
+			sfipMode: sfipMode, sfipJSON: *sfipJSON,
 		}
 		os.Exit(c.run(path, argv))
 	}
@@ -242,6 +292,19 @@ func main() {
 	if *auditFlag || *auditJSON != "" {
 		auditObs = obsv.New(obsv.Options{Audit: true})
 		auditObs.Install(w.K)
+	}
+
+	// SFIP attaches at the same post-offline point: policies are learned
+	// from — and enforced on — the production run only.
+	var sfipObs *obsv.Observer
+	if *sfipLearn != "" || sfipPolicy != nil {
+		sfipObs = obsv.New(obsv.Options{
+			Machine:    args[0],
+			SfipLearn:  *sfipLearn != "",
+			SfipPolicy: sfipPolicy,
+			SfipMode:   sfipMode,
+		})
+		sfipObs.Install(w.K)
 	}
 
 	l := spec.New(interpose.Config{}, logPath)
@@ -325,6 +388,10 @@ func main() {
 				return audit.WriteJSONL(f)
 			})
 		}
+	}
+
+	if sfipObs != nil {
+		writeSfipOutputs(sfipObs, *sfipLearn, *sfipJSON)
 	}
 
 	if p.Exit.Signal != 0 {

@@ -11,6 +11,7 @@ import (
 	"k23/internal/kernel"
 	"k23/internal/obsv"
 	"k23/internal/rr"
+	"k23/internal/sfip"
 )
 
 // rrCLI carries the record/replay flags out of main.
@@ -35,6 +36,13 @@ type rrCLI struct {
 	spansOut    string
 	perfettoOut string
 	critPath    bool
+	// SFIP flags. The enforcer's predecessor chains and counters ride
+	// the kernel host-state snapshots, so checkpoint seeks restore them
+	// and replay verifies them through the state hash.
+	sfipLearn  string // -sfip-learn FILE
+	sfipPolicy *sfip.Policy
+	sfipMode   sfip.Mode
+	sfipJSON   string // -sfip-json FILE
 }
 
 // wantSpans reports whether any span-layer output was requested.
@@ -52,7 +60,11 @@ func isServerApp(path string) bool {
 // it lands after any offline phase — the same attach point the plain
 // path uses — and never perturbs the recorded schedule.
 func (c rrCLI) run(path string, argv []string) int {
-	var obs, auditObs *obsv.Observer
+	app := ""
+	if len(argv) != 0 {
+		app = argv[0]
+	}
+	var obs, auditObs, sfipObs *obsv.Observer
 	hooks := rr.Hooks{BeforeLaunch: func(w *interpose.World) {
 		if c.trace || c.wantSpans() {
 			obs = obsv.New(obsv.Options{Trace: c.trace, RingSize: c.ring, Spans: c.wantSpans()})
@@ -61,6 +73,15 @@ func (c rrCLI) run(path string, argv []string) int {
 		if c.audit || c.auditJSON != "" {
 			auditObs = obsv.New(obsv.Options{Audit: true})
 			auditObs.Install(w.K)
+		}
+		if c.sfipLearn != "" || c.sfipPolicy != nil {
+			sfipObs = obsv.New(obsv.Options{
+				Machine:    app,
+				SfipLearn:  c.sfipLearn != "",
+				SfipPolicy: c.sfipPolicy,
+				SfipMode:   c.sfipMode,
+			})
+			sfipObs.Install(w.K)
 		}
 	}}
 
@@ -150,6 +171,9 @@ func (c rrCLI) run(path string, argv []string) int {
 				return audit.WriteJSONL(f)
 			})
 		}
+	}
+	if sfipObs != nil {
+		writeSfipOutputs(sfipObs, c.sfipLearn, c.sfipJSON)
 	}
 
 	if c.recordOut != "" {

@@ -21,13 +21,22 @@
 // contain their children on both timelines, cause edges that point
 // backwards to known spans, and monotone phase slices within bounds.
 //
+// With -sfip it validates SFIP enforcement reports (as written by
+// `k23 -sfip-json`): exactly one summary with a known mode, known
+// violation categories, and no more ledgered violations than the
+// summary counts. With -sfip-policy it validates serialized SFIP
+// policies (as written by `k23 -sfip-learn`): one versioned header
+// whose origin/edge cardinalities match the records.
+//
 // Usage:
 //
-//	obsvcheck FILE...        validate each trace file
-//	obsvcheck -audit FILE... validate each audit report
-//	obsvcheck -rr FILE...    validate each rr recording
-//	obsvcheck -spans FILE... validate each span trace
-//	obsvcheck -              validate stdin
+//	obsvcheck FILE...              validate each trace file
+//	obsvcheck -audit FILE...       validate each audit report
+//	obsvcheck -rr FILE...          validate each rr recording
+//	obsvcheck -spans FILE...       validate each span trace
+//	obsvcheck -sfip FILE...        validate each SFIP report
+//	obsvcheck -sfip-policy FILE... validate each SFIP policy
+//	obsvcheck -                    validate stdin
 package main
 
 import (
@@ -39,8 +48,30 @@ import (
 	"k23/internal/audit"
 	"k23/internal/obsv"
 	"k23/internal/rr"
+	"k23/internal/sfip"
 	"k23/internal/span"
 )
+
+// checkSfip validates one SFIP enforcement-report or policy stream.
+func checkSfip(name string, r io.Reader, policy bool) bool {
+	var (
+		n    int
+		err  error
+		what = "sfip report"
+	)
+	if policy {
+		what = "sfip policy"
+		n, err = sfip.ValidatePolicyJSONL(r)
+	} else {
+		n, err = sfip.ValidateJSONL(r)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsvcheck: %s: %v\n", name, err)
+		return false
+	}
+	fmt.Printf("%s: %s OK (%d records)\n", name, what, n)
+	return true
+}
 
 // checkSpans validates one span-trace stream.
 func checkSpans(name string, r io.Reader) bool {
@@ -97,16 +128,18 @@ func main() {
 	auditMode := flag.Bool("audit", false, "validate audit-report JSONL instead of flight-recorder traces")
 	rrMode := flag.Bool("rr", false, "validate record/replay recording JSONL instead of flight-recorder traces")
 	spansMode := flag.Bool("spans", false, "validate causal span JSONL instead of flight-recorder traces")
+	sfipMode := flag.Bool("sfip", false, "validate SFIP enforcement-report JSONL instead of flight-recorder traces")
+	sfipPolicyMode := flag.Bool("sfip-policy", false, "validate serialized SFIP policy JSONL instead of flight-recorder traces")
 	flag.Parse()
 	args := flag.Args()
 	modes := 0
-	for _, m := range []bool{*auditMode, *rrMode, *spansMode} {
+	for _, m := range []bool{*auditMode, *rrMode, *spansMode, *sfipMode, *sfipPolicyMode} {
 		if m {
 			modes++
 		}
 	}
 	if len(args) == 0 || modes > 1 {
-		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit|-rr|-spans] FILE... | obsvcheck [-audit|-rr|-spans] -")
+		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit|-rr|-spans|-sfip|-sfip-policy] FILE... | obsvcheck [-audit|-rr|-spans|-sfip|-sfip-policy] -")
 		os.Exit(2)
 	}
 	validate := func(name string, r io.Reader) bool {
@@ -115,6 +148,9 @@ func main() {
 		}
 		if *spansMode {
 			return checkSpans(name, r)
+		}
+		if *sfipMode || *sfipPolicyMode {
+			return checkSfip(name, r, *sfipPolicyMode)
 		}
 		return check(name, r, *auditMode)
 	}

@@ -90,6 +90,14 @@ type Auditor struct {
 	// DefaultWindowCycles.
 	WindowCycles uint64
 
+	// OnOracle, if non-nil, observes every classified ground-truth
+	// oracle after the join: class is "covered", "internal",
+	// "signal-infra", or "escape:<category>". The SFIP learner rides
+	// this hook — it trains on the auditor's classification (covered
+	// trampoline-origin calls plus signal infrastructure) rather than
+	// the raw stream, so escapes never contaminate a learned policy.
+	OnOracle func(e *kernel.Event, class string)
+
 	claims   map[tidKey][]claim
 	sigdepth map[tidKey]int
 	tainted  map[tidKey]bool // threads born from unclaimed clones
@@ -116,13 +124,14 @@ type Auditor struct {
 	doubleClaims uint64
 	misattrib    uint64
 
-	rewriteGenuine uint64
-	rewriteMisID   uint64
-	permClobbers   uint64
-	vdsoMapped     uint64
-	vdsoDisabled   uint64
-	signalDeaths   uint64
-	staleFetches   uint64
+	rewriteGenuine  uint64
+	rewriteMisID    uint64
+	permClobbers    uint64
+	vdsoMapped      uint64
+	vdsoDisabled    uint64
+	signalDeaths    uint64
+	staleFetches    uint64
+	unknownSyscalls uint64
 }
 
 type covKey struct {
@@ -230,6 +239,11 @@ func (a *Auditor) Handle(e *kernel.Event) {
 	case kernel.EvStaleFetch:
 		a.proc(e.PID).stale += e.Num
 		a.staleFetches += e.Num
+	case kernel.EvUnknownSyscall:
+		// An ENOSYS rejection the kernel made visible (satellite of the
+		// SFIP work): counted so reports can distinguish "never called"
+		// from "called but unimplemented".
+		a.unknownSyscalls++
 	case kernel.EvRewrite:
 		if containsWord(e.Detail, "misidentified") {
 			a.rewriteMisID++
@@ -345,6 +359,9 @@ func (a *Auditor) handleOracle(e *kernel.Event) {
 		if e.Num == kernel.SysRtSigreturn {
 			a.sigreturnDepth(key)
 		}
+		if a.OnOracle != nil {
+			a.OnOracle(e, "covered")
+		}
 		return
 	}
 
@@ -355,6 +372,9 @@ func (a *Auditor) handleOracle(e *kernel.Event) {
 		// sequences (the mechanism's documented self-exemption):
 		// invisible to the application, never an escape.
 		a.internal++
+		if a.OnOracle != nil {
+			a.OnOracle(e, "internal")
+		}
 		return
 	}
 	if len(stack) > 0 {
@@ -367,6 +387,9 @@ func (a *Auditor) handleOracle(e *kernel.Event) {
 		// machinery itself (SUD handlers end with rt_sigreturn).
 		a.signalInfra++
 		a.sigreturnDepth(key)
+		if a.OnOracle != nil {
+			a.OnOracle(e, "signal-infra")
+		}
 		return
 	}
 
@@ -402,6 +425,9 @@ func (a *Auditor) handleOracle(e *kernel.Event) {
 		// A raw clone escaped: its child thread runs with no mechanism
 		// attached. Taint it so its own escapes carry the cause.
 		a.tainted[tidKey{e.PID, int(e.Ret)}] = true
+	}
+	if a.OnOracle != nil {
+		a.OnOracle(e, "escape:"+category)
 	}
 }
 

@@ -225,6 +225,9 @@ func (s *Snapshot) Format(w io.Writer) {
 	if t.SignalDeaths+t.StaleFetches != 0 {
 		fmt.Fprintf(w, "       %d signal death(s), %d stale fetch(es)\n", t.SignalDeaths, t.StaleFetches)
 	}
+	if t.UnknownSyscalls != 0 {
+		fmt.Fprintf(w, "       %d unknown syscall(s) rejected with ENOSYS\n", t.UnknownSyscalls)
+	}
 
 	if len(s.Procs) > 0 {
 		fmt.Fprintf(w, "\nper-process time-to-first-coverage (executed syscalls before the first claim):\n")

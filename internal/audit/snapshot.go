@@ -84,6 +84,7 @@ type Totals struct {
 	VdsoDisabled          uint64 `json:"vdso_disabled"`
 	SignalDeaths          uint64 `json:"signal_deaths"`
 	StaleFetches          uint64 `json:"stale_fetches"`
+	UnknownSyscalls       uint64 `json:"unknown_syscalls"`
 }
 
 // Snapshot is the frozen, mergeable, DeepEqual-comparable audit report
@@ -162,6 +163,7 @@ func (a *Auditor) Snapshot() *Snapshot {
 			VdsoDisabled:          a.vdsoDisabled,
 			SignalDeaths:          a.signalDeaths,
 			StaleFetches:          a.staleFetches,
+			UnknownSyscalls:       a.unknownSyscalls,
 		},
 	}
 	for _, stack := range a.claims {
@@ -256,6 +258,7 @@ func (s *Snapshot) Merge(other *Snapshot) {
 	s.Totals.VdsoDisabled += other.Totals.VdsoDisabled
 	s.Totals.SignalDeaths += other.Totals.SignalDeaths
 	s.Totals.StaleFetches += other.Totals.StaleFetches
+	s.Totals.UnknownSyscalls += other.Totals.UnknownSyscalls
 
 	s.Coverage = mergeCells(s.Coverage, other.Coverage,
 		func(c CoverageCell) covCellKey { return covCellKey{c.Nr, c.Mech} },

@@ -440,7 +440,19 @@ func (z *K23) initHost(h any, base uint64) error {
 		var a [6]uint64
 		a[0] = nr
 		copy(a[1:], args)
-		return k.CallGuestInfra(t, gate, a)
+		// Bounded transient retry: under chaos injection the gate's
+		// syscalls can fail with EINTR/EAGAIN/ENOMEM/EMFILE; robust
+		// init code re-issues them like the libc wrappers do.
+		for tries := 0; ; tries++ {
+			ret, err := k.CallGuestInfra(t, gate, a)
+			if err != nil {
+				return ret, err
+			}
+			if e, bad := kernel.IsErr(ret); bad && kernel.IsTransient(e) && tries < 64 {
+				continue
+			}
+			return ret, nil
+		}
 	}
 
 	// 2. Trampoline at 0 with PKU-XOM (as zpoline/lazypoline, §5.3).

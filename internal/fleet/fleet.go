@@ -23,12 +23,15 @@ import (
 	"time"
 
 	"k23/internal/apps"
+	"k23/internal/core"
 	"k23/internal/cpu"
 	"k23/internal/cpu/difftest"
 	"k23/internal/interpose"
+	"k23/internal/interpose/variants"
 	"k23/internal/kernel"
 	"k23/internal/obsv"
 	"k23/internal/rr"
+	"k23/internal/sfip"
 )
 
 // Machine describes one simulated machine: a program to boot and the
@@ -45,6 +48,13 @@ type Machine struct {
 	Path string
 	Argv []string
 	Env  []string
+	// Mechanism, when non-empty, boots the machine under the named
+	// interposer variant (variants.ByName) instead of natively, running
+	// the variant's offline phase on the same machine first when it
+	// needs a log. Per-machine SFIP policies (Options.SfipPolicies) only
+	// bite on interposed machines: native machines never issue
+	// trap-origin syscalls.
+	Mechanism string
 	// Server marks a workload driven by an injected client connection.
 	Server bool
 	// Requests is the number of requests per injected connection
@@ -147,6 +157,13 @@ type Options struct {
 	// CheckpointEvery is the recorded checkpoint interval in virtual
 	// ticks (0 = the rr default); only meaningful with Record.
 	CheckpointEvery uint64
+	// SfipPolicies maps machine names to SFIP policies: a machine whose
+	// name has an entry gets an enforcer for that policy in SfipMode
+	// (per-app policies, the paper's deployment model). Machines without
+	// an entry run unpoliced.
+	SfipPolicies map[string]*sfip.Policy
+	// SfipMode is the enforcement posture for SfipPolicies.
+	SfipMode sfip.Mode
 }
 
 // Report aggregates a fleet run.
@@ -358,19 +375,55 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 			th.write(uint64(tid), rip, uint64(op))
 		}
 	}
+	// Resolve the boot path: native spawn, or launch under the machine's
+	// interposer variant — running the variant's offline phase first when
+	// it needs a log.
+	launch := func() (*kernel.Process, error) { return world.L.Spawn(m.Path, m.Argv, m.Env) }
+	if m.Mechanism != "" {
+		spec, ok := variants.ByName(m.Mechanism)
+		if !ok {
+			res.Err = fmt.Sprintf("unknown mechanism %q", m.Mechanism)
+			return res
+		}
+		logPath := ""
+		if spec.NeedsOfflineLog {
+			off := &core.Offline{LogDir: "/var/k23/logs"}
+			run, err := off.Start(world, m.Path, m.Argv, m.Env)
+			if err != nil {
+				res.Err = err.Error()
+				return res
+			}
+			_ = world.K.RunUntilExit(run.Process(), DefaultMaxInsts)
+			if _, err := run.Finish(); err != nil {
+				res.Err = err.Error()
+				return res
+			}
+			logPath = off.LogPath(m.Path[strings.LastIndexByte(m.Path, '/')+1:])
+		}
+		l := spec.New(interpose.Config{}, logPath)
+		launch = func() (*kernel.Process, error) { return l.Launch(world, m.Path, m.Argv, m.Env) }
+	}
+
 	var obs *obsv.Observer
-	if opt.Obs.Enabled() {
-		// Installed after the hash hook so AddEventHook chains both;
-		// the observer is private to this World, keeping the machine
-		// race-free and bit-identical at any worker count. Span sets are
-		// keyed by machine name so a fleet merge stays deterministic.
-		oo := opt.Obs
-		oo.Machine = m.Name
+	oo := opt.Obs
+	oo.Machine = m.Name
+	if p := opt.SfipPolicies[m.Name]; p != nil {
+		oo.SfipPolicy = p
+		oo.SfipMode = opt.SfipMode
+	}
+	if oo.Enabled() {
+		// Installed after the hash hook so AddEventHook chains both, and
+		// after any offline phase — the controlled environment the audit
+		// and SFIP layers deliberately exclude, the same attach point the
+		// k23 CLI and the PoC matrix use. The observer is private to this
+		// World, keeping the machine race-free and bit-identical at any
+		// worker count. Span sets are keyed by machine name so a fleet
+		// merge stays deterministic.
 		obs = obsv.New(oo)
 		obs.Install(world.K)
 	}
 
-	p, err := world.L.Spawn(m.Path, m.Argv, m.Env)
+	p, err := launch()
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -436,7 +489,8 @@ func runRecorded(m Machine, opt Options, res *Result) {
 		return
 	}
 	spec := rr.RunSpec{
-		Name: m.Name, Path: m.Path, Argv: m.Argv, Env: m.Env,
+		Name: m.Name, Mechanism: m.Mechanism,
+		Path: m.Path, Argv: m.Argv, Env: m.Env,
 		Server: m.Server, Requests: m.Requests,
 		Seed: m.Seed, MaxInsts: m.MaxInsts,
 		Chaos: opt.Chaos, ChaosSeed: opt.ChaosSeed,
@@ -444,10 +498,14 @@ func runRecorded(m Machine, opt Options, res *Result) {
 	}
 	var obs *obsv.Observer
 	hooks := rr.Hooks{}
-	if opt.Obs.Enabled() {
+	oo := opt.Obs
+	oo.Machine = m.Name
+	if p := opt.SfipPolicies[m.Name]; p != nil {
+		oo.SfipPolicy = p
+		oo.SfipMode = opt.SfipMode
+	}
+	if oo.Enabled() {
 		hooks.BeforeLaunch = func(w *interpose.World) {
-			oo := opt.Obs
-			oo.Machine = m.Name
 			obs = obsv.New(oo)
 			obs.Install(w.K)
 		}

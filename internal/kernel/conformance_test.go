@@ -245,6 +245,98 @@ func TestConformanceSockets(t *testing.T) {
 	})
 }
 
+// TestConformanceFdTableEdges pins the descriptor-table lookup edges the
+// audit's EBADF accounting depends on: negative and far-out-of-range
+// numbers are EBADF on every fd-taking call, the fd check wins over a
+// bad user buffer (Linux's fget-before-copy ordering), and a closed
+// descriptor number stays EBADF even after later opens — this kernel
+// allocates descriptors monotonically (a deliberate divergence from
+// Linux's lowest-free-slot rule), so a stale number can never silently
+// alias a newer file.
+func TestConformanceFdTableEdges(t *testing.T) {
+	k, p, mt, scratch := confWorld(t)
+	pathAddr := scratch
+	putString(t, p, pathAddr, "/tmp/conf-edges")
+
+	neg1 := ^uint64(0)      // fd -1
+	neg2 := ^uint64(0) - 1  // fd -2
+	huge := uint64(1 << 20) // far beyond any allocated descriptor
+
+	runErrnoCases(t, k, mt, []errnoCase{
+		{"read-fd-neg", kernel.SysRead, [6]uint64{neg1, scratch, 8}, kernel.EBADF},
+		{"write-fd-neg", kernel.SysWrite, [6]uint64{neg2, scratch, 8}, kernel.EBADF},
+		{"close-fd-neg", kernel.SysClose, [6]uint64{neg1}, kernel.EBADF},
+		{"fstat-fd-neg", kernel.SysFstat, [6]uint64{neg1, scratch}, kernel.EBADF},
+		{"read-fd-huge", kernel.SysRead, [6]uint64{huge, scratch, 8}, kernel.EBADF},
+		{"write-fd-huge", kernel.SysWrite, [6]uint64{huge, scratch, 8}, kernel.EBADF},
+		{"close-fd-huge", kernel.SysClose, [6]uint64{huge}, kernel.EBADF},
+		// EBADF beats EFAULT: a bad fd with a bad buffer reports the fd.
+		{"read-fd-neg-bad-buf", kernel.SysRead, [6]uint64{neg1, unmappedAddr, 8}, kernel.EBADF},
+		{"write-fd-neg-bad-buf", kernel.SysWrite, [6]uint64{neg1, unmappedAddr, 8}, kernel.EBADF},
+	})
+
+	fd1 := k.DirectSyscall(mt, kernel.SysOpen, [6]uint64{pathAddr, kernel.OCreat | kernel.ORdwr})
+	wantOK(t, "open", fd1)
+	wantOK(t, "close", k.DirectSyscall(mt, kernel.SysClose, [6]uint64{fd1}))
+	fd2 := k.DirectSyscall(mt, kernel.SysOpen, [6]uint64{pathAddr, kernel.ORdwr})
+	wantOK(t, "reopen", fd2)
+	if fd2 == fd1 {
+		t.Fatalf("descriptor number %d reused; monotonic allocation must not recycle closed numbers", fd1)
+	}
+	wantErrno(t, "read-stale-fd", k.DirectSyscall(mt, kernel.SysRead, [6]uint64{fd1, scratch + 512, 8}), kernel.EBADF)
+	wantOK(t, "read-new-fd", k.DirectSyscall(mt, kernel.SysRead, [6]uint64{fd2, scratch + 512, 8}))
+}
+
+// TestConformanceSocketStates pins the wrong-state errno matrix for
+// socket-family descriptors: reads and writes on a socket with no peer
+// are ENOTCONN (not a generic EBADF), epoll descriptors are EINVAL for
+// data calls, socket calls on non-socket descriptors are ENOTSOCK, and
+// the access-mode checks on regular files are EBADF as on Linux.
+func TestConformanceSocketStates(t *testing.T) {
+	k, p, mt, scratch := confWorld(t)
+	pathAddr := scratch
+	putString(t, p, pathAddr, "/tmp/conf-sockstate")
+
+	file := k.DirectSyscall(mt, kernel.SysOpen, [6]uint64{pathAddr, kernel.OCreat | kernel.ORdwr})
+	wantOK(t, "open(O_RDWR)", file)
+	ro := k.DirectSyscall(mt, kernel.SysOpen, [6]uint64{pathAddr, kernel.ORdonly})
+	wantOK(t, "open(O_RDONLY)", ro)
+	wo := k.DirectSyscall(mt, kernel.SysOpen, [6]uint64{pathAddr, kernel.OWronly})
+	wantOK(t, "open(O_WRONLY)", wo)
+
+	sock := k.DirectSyscall(mt, kernel.SysSocket, [6]uint64{})
+	wantOK(t, "socket", sock)
+	lst := k.DirectSyscall(mt, kernel.SysSocket, [6]uint64{})
+	wantOK(t, "socket-listener", lst)
+	wantOK(t, "bind", k.DirectSyscall(mt, kernel.SysBind, [6]uint64{lst, 8090}))
+	wantOK(t, "listen", k.DirectSyscall(mt, kernel.SysListen, [6]uint64{lst, 8}))
+	ep := k.DirectSyscall(mt, kernel.SysEpollCreate1, [6]uint64{})
+	wantOK(t, "epoll_create1", ep)
+
+	runErrnoCases(t, k, mt, []errnoCase{
+		// A stream socket with no peer: ENOTCONN, whether unconnected or
+		// listening (data flows through accepted conn fds, never these).
+		{"read-unconnected-socket", kernel.SysRead, [6]uint64{sock, scratch + 512, 8}, kernel.ENOTCONN},
+		{"write-unconnected-socket", kernel.SysWrite, [6]uint64{sock, scratch + 512, 8}, kernel.ENOTCONN},
+		{"read-listener", kernel.SysRead, [6]uint64{lst, scratch + 512, 8}, kernel.ENOTCONN},
+		{"write-listener", kernel.SysWrite, [6]uint64{lst, scratch + 512, 8}, kernel.ENOTCONN},
+		// Epoll descriptors carry no data stream.
+		{"read-epoll", kernel.SysRead, [6]uint64{ep, scratch + 512, 8}, kernel.EINVAL},
+		{"write-epoll", kernel.SysWrite, [6]uint64{ep, scratch + 512, 8}, kernel.EINVAL},
+		// Access-mode violations on regular files are EBADF, not EINVAL.
+		{"read-write-only", kernel.SysRead, [6]uint64{wo, scratch + 512, 8}, kernel.EBADF},
+		{"write-read-only", kernel.SysWrite, [6]uint64{ro, scratch + 512, 8}, kernel.EBADF},
+		// Socket calls on a live non-socket descriptor are ENOTSOCK, not
+		// EBADF (the descriptor is valid, its type is wrong).
+		{"bind-file", kernel.SysBind, [6]uint64{file, 9000}, kernel.ENOTSOCK},
+		{"listen-file", kernel.SysListen, [6]uint64{file, 8}, kernel.ENOTSOCK},
+		{"accept-file", kernel.SysAccept, [6]uint64{file}, kernel.ENOTSOCK},
+		// Rebinding a listener is EINVAL; re-listen is idempotent.
+		{"bind-listener-again", kernel.SysBind, [6]uint64{lst, 9001}, kernel.EINVAL},
+		{"listen-again", kernel.SysListen, [6]uint64{lst, 8}, 0},
+	})
+}
+
 // buildEINTRProbe builds a guest that binds and listens on port, installs
 // a handler for signal 10 with the given sa_flags, then issues a *raw*
 // accept (no libc retry loop, so an EINTR abort stays visible in RAX)

@@ -39,6 +39,12 @@ type CostModel struct {
 	// PtraceAccess is one tracer access to tracee state
 	// (PTRACE_PEEKDATA/POKEDATA/GETREGS or process_vm_readv/writev).
 	PtraceAccess uint64
+	// SfipCheck is the per-trap-syscall cost of an in-kernel
+	// syscall-flow-integrity policy check (origin-set membership plus
+	// one transition-edge lookup). Charged only while an SFIP enforcer
+	// is installed in enforce mode; log mode and the disabled path cost
+	// a nil-check (§2h).
+	SfipCheck uint64
 }
 
 // DefaultCostModel returns the calibrated cost model.
@@ -50,6 +56,7 @@ func DefaultCostModel() CostModel {
 		SignalDeliver: 2376,
 		PtraceStop:    6000,
 		PtraceAccess:  800,
+		SfipCheck:     32,
 	}
 }
 
@@ -343,11 +350,13 @@ const (
 	EvRewrite                 // binary-rewriter patched a site (Detail = genuine/misidentified[,perm-clobber])
 	EvGuardMem                // guard-structure footprint (Args[0] = reserved, Args[1] = resident bytes)
 	EvStaleFetch              // stale instruction fetches observed over a process lifetime (Num = count)
+	EvUnknownSyscall          // the kernel rejected an unimplemented syscall with ENOSYS (Detail = why)
+	EvSfipViolation           // an SFIP policy check failed (Num = nr, Site = origin, Detail = violation)
 )
 
 // NumEventKinds bounds the EventKind enum for counting arrays and
 // exhaustiveness checks (EvUnknown included).
-const NumEventKinds = int(EvStaleFetch) + 1
+const NumEventKinds = int(EvSfipViolation) + 1
 
 // String returns the historical text label of the kind.
 func (k EventKind) String() string {
@@ -384,6 +393,10 @@ func (k EventKind) String() string {
 		return "guard-mem"
 	case EvStaleFetch:
 		return "stale-fetch"
+	case EvUnknownSyscall:
+		return "unknown-syscall"
+	case EvSfipViolation:
+		return "sfip-violation"
 	default:
 		return "unknown"
 	}
@@ -416,6 +429,36 @@ type Event struct {
 	Detail   string
 }
 
+// SfipHook is the kernel-side contract of a syscall-flow-integrity
+// enforcer (simulated SFIP). The kernel consults it only for
+// trap-origin syscalls — raw SYSCALL instructions retired by guest
+// code — never for host-infrastructure calls or DirectSyscall probes,
+// mirroring real SFIP's placement on the user->kernel boundary.
+//
+// Check runs before the syscall body; a deny verdict makes the kernel
+// return EPERM without executing it. Commit runs after a trap syscall
+// completes (including the EINTR path of an interrupted blocked call)
+// and advances the per-thread predecessor state. Implementations must
+// be deterministic and snapshot-able: record/replay checkpoints
+// capture them via SnapshotHostState/RestoreHostState, and HashState
+// feeds the world state hash so divergence is caught bit-exactly.
+type SfipHook interface {
+	// Check validates (nr, site) against the policy given the thread's
+	// current predecessor state. violation is "" when allowed; deny
+	// requests the kernel suppress the call with EPERM (enforce mode).
+	Check(pid, tid int, nr, site uint64) (violation string, deny bool)
+	// Commit records nr as the thread's new predecessor.
+	Commit(pid, tid int, nr uint64)
+	// Enforcing reports whether denials are active; the kernel charges
+	// Cost.SfipCheck per checked syscall only in this mode.
+	Enforcing() bool
+	// SnapshotHostState/RestoreHostState/HashState integrate the
+	// enforcer's mutable state with world checkpoints (snapshot.go).
+	SnapshotHostState() any
+	RestoreHostState(any)
+	HashState() uint64
+}
+
 // Kernel is the simulated operating system instance.
 type Kernel struct {
 	FS   *vfs.FS
@@ -428,6 +471,13 @@ type Kernel struct {
 	// layers that want to stack on an existing hook should install via
 	// AddEventHook.
 	EventHook func(Event)
+
+	// Sfip, if non-nil, is the in-kernel syscall-flow-integrity policy
+	// (simulated SFIP, §2h): every completed trap-origin syscall is
+	// checked against a learned origin set and transition digraph before
+	// execution. The disabled path is a single nil-check in
+	// executeSyscall, the same cost contract as EventHook.
+	Sfip SfipHook
 
 	// PhaseHook, if non-nil, receives fine-grained lifecycle phase marks
 	// (see phase.go). It is a separate side-stream with its own ordinal

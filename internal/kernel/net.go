@@ -107,8 +107,20 @@ func (k *Kernel) sysSocket(t *Thread) uint64 {
 
 func (k *Kernel) sysBind(t *Thread, n, port int) uint64 {
 	f, ok := t.Proc.fds[n]
-	if !ok || f.kind != fdSocket {
+	if !ok {
 		return errno(EBADF)
+	}
+	switch f.kind {
+	case fdSocket:
+	case fdListener, fdConn:
+		// Already listening or connected: the socket has an address.
+		return errno(EINVAL)
+	default:
+		// bind on a non-socket descriptor is ENOTSOCK, not EBADF.
+		return errno(ENOTSOCK)
+	}
+	if f.listener != nil {
+		return errno(EINVAL) // already bound
 	}
 	if _, used := k.net.listeners[port]; used {
 		return errno(EADDRINUSE)
@@ -122,8 +134,19 @@ func (k *Kernel) sysListen(t *Thread, n, backlog int) uint64 {
 	if !ok {
 		return errno(EBADF)
 	}
+	switch f.kind {
+	case fdListener:
+		return 0 // listen on a listening socket is idempotent
+	case fdSocket:
+	case fdConn:
+		return errno(EINVAL)
+	default:
+		return errno(ENOTSOCK)
+	}
 	if f.listener == nil {
 		// A socket fd that was never bound: no address to listen on.
+		// (Linux would auto-bind an ephemeral port; the simulated stack
+		// requires an explicit bind — see "Known modelling deviations".)
 		return errno(EINVAL)
 	}
 	f.kind = fdListener
@@ -139,8 +162,13 @@ func (k *Kernel) sysAccept(t *Thread, n int) (ret uint64, blocked bool) {
 	if !ok {
 		return errno(EBADF), false
 	}
-	if f.kind != fdListener {
+	switch f.kind {
+	case fdListener:
+	case fdSocket, fdConn:
+		// A socket that is not listening: EINVAL per accept(2).
 		return errno(EINVAL), false
+	default:
+		return errno(ENOTSOCK), false
 	}
 	l := f.listener
 	if !l.pending() {
@@ -163,7 +191,9 @@ func (k *Kernel) sysAccept(t *Thread, n int) (ret uint64, blocked bool) {
 func (k *Kernel) connRead(t *Thread, n int, f *fd, buf, count uint64) (ret uint64, blocked bool) {
 	c := f.conn
 	if c == nil {
-		return errno(EBADF), false
+		// A conn fd whose peer never materialized: no connection, not a
+		// bad descriptor.
+		return errno(ENOTCONN), false
 	}
 	if !c.readable() {
 		if k.chaosBlockEINTR(t, SysRead) {
@@ -193,7 +223,7 @@ func (k *Kernel) connRead(t *Thread, n int, f *fd, buf, count uint64) (ret uint6
 func (k *Kernel) connWrite(t *Thread, f *fd, data []byte) uint64 {
 	c := f.conn
 	if c == nil {
-		return errno(EBADF)
+		return errno(ENOTCONN)
 	}
 	if c.onResponse != nil {
 		c.onResponse(data)

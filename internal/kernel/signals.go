@@ -201,6 +201,12 @@ func (k *Kernel) interruptBlockedSyscall(t *Thread, flags uint64) {
 		k.EmitPhase(t, ph, t.Core.Ctx.R[cpu.RAX], t.Core.Ctx.RIP, "")
 	}
 	if flags&SARestart == 0 && t.blockedLen != 0 {
+		if k.Sfip != nil && t.infraFrames == 0 {
+			// The aborted call completed (with -EINTR) from the policy's
+			// point of view: advance the thread's predecessor state just
+			// as executeSyscall would have on normal completion.
+			k.Sfip.Commit(t.Proc.PID, t.TID, t.Core.Ctx.R[cpu.RAX])
+		}
 		if k.EventHook != nil {
 			// The aborted call logically completed with -EINTR: emit its
 			// ground-truth oracle here, since the blocked executeSyscall

@@ -204,6 +204,9 @@ type Snapshot struct {
 	chaos     *chaosSnap
 	vvars     []vvarSnap
 	procs     map[int]*procSnap
+	// sfip is the SFIP enforcer's opaque state (per-thread predecessor
+	// map + counters), nil when no enforcer is installed.
+	sfip any
 }
 
 // VClock returns the virtual-clock tick the snapshot was taken at.
@@ -250,6 +253,9 @@ func (k *Kernel) Checkpoint(prev *Snapshot) (*Snapshot, error) {
 		c := k.chaos
 		s.chaos = &chaosSnap{seed: c.seed, injected: c.injected, q: c.q,
 			scriptIdx: c.scriptIdx, hits: len(c.hits)}
+	}
+	if k.Sfip != nil {
+		s.sfip = k.Sfip.SnapshotHostState()
 	}
 	for _, v := range k.vvars {
 		s.vvars = append(s.vvars, vvarSnap{pid: v.p.PID, addr: v.addr})
@@ -448,6 +454,9 @@ func (k *Kernel) Restore(s *Snapshot) {
 		if len(c.hits) > s.chaos.hits {
 			c.hits = c.hits[:s.chaos.hits]
 		}
+	}
+	if k.Sfip != nil && s.sfip != nil {
+		k.Sfip.RestoreHostState(s.sfip)
 	}
 
 	// Rebuild the socket layer. Memoization by snapshot object restores
@@ -658,6 +667,9 @@ func (k *Kernel) StateHash() uint64 {
 	if k.chaos != nil {
 		c := k.chaos
 		fmt.Fprintf(h, "c %d %d %d %d %d\n", c.seed, c.injected, c.q, c.scriptIdx, len(c.hits))
+	}
+	if k.Sfip != nil {
+		fmt.Fprintf(h, "sfip %#x\n", k.Sfip.HashState())
 	}
 	fmt.Fprintf(h, "fs %#x\n", k.FS.Hash())
 

@@ -86,7 +86,9 @@ const (
 	EINVAL     = 22
 	EMFILE     = 24
 	ENOSYS     = 38
+	ENOTSOCK   = 88
 	EADDRINUSE = 98
+	ENOTCONN   = 107
 )
 
 // errno encodes -e as a uint64 return value.
@@ -307,11 +309,31 @@ func (k *Kernel) executeSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) 
 	// Phase mark: kernel service work begins (charged kernel cycles from
 	// here to PhReturn/PhBlock are the "kernel" slice of the span).
 	k.EmitPhase(t, PhKernel, nr, site, "")
-	if k.EventHook == nil {
+	if k.EventHook == nil && k.Sfip == nil {
 		return k.serviceSyscall(t, nr, a, site)
 	}
 	trapped := t.entryLen != 0
 	pid, tid := t.Proc.PID, t.TID
+	// SFIP checks run on the pre-body trap record: only raw guest SYSCALL
+	// instructions (not interposer host infrastructure) cross the policy
+	// boundary, and a blocked call re-enters through its rewound entry so
+	// the check reruns against the same predecessor until it completes.
+	if k.Sfip != nil && trapped && t.infraFrames == 0 {
+		if violation, deny := k.Sfip.Check(pid, tid, nr, site); violation != "" {
+			if k.Tracing() {
+				k.emit(Event{PID: pid, TID: tid, Kind: EvSfipViolation, Num: nr, Site: site, Args: a, Detail: violation})
+			}
+			if deny {
+				if k.Sfip.Enforcing() {
+					t.charge(k.Cost.SfipCheck)
+				}
+				return errno(EPERM), false
+			}
+		}
+		if k.Sfip.Enforcing() {
+			t.charge(k.Cost.SfipCheck)
+		}
+	}
 	ret, noReturn = k.serviceSyscall(t, nr, a, site)
 	if t.State != ThreadBlocked {
 		origin := "direct"
@@ -321,8 +343,13 @@ func (k *Kernel) executeSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) 
 				origin = "hostcall"
 			}
 		}
-		ev := Event{PID: pid, TID: tid, Kind: EvOracle, Num: nr, Site: site, Ret: ret, Args: a, Detail: origin}
-		k.emit(ev)
+		if k.Sfip != nil && origin == "trap" {
+			k.Sfip.Commit(pid, tid, nr)
+		}
+		if k.EventHook != nil {
+			ev := Event{PID: pid, TID: tid, Kind: EvOracle, Num: nr, Site: site, Ret: ret, Args: a, Detail: origin}
+			k.emit(ev)
+		}
 	}
 	return ret, noReturn
 }
@@ -480,6 +507,7 @@ func (k *Kernel) serviceSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) 
 		return errno(ENOENT), false
 	case SysPtrace:
 		// Guest-initiated ptrace is not modelled; tracers are host-level.
+		k.emitUnknownSyscall(t, nr, site, "ptrace not modelled")
 		return errno(ENOSYS), false
 	case SysPrctl:
 		return k.sysPrctl(t, a), false
@@ -507,13 +535,28 @@ func (k *Kernel) serviceSyscall(t *Thread, nr uint64, a [6]uint64, site uint64) 
 	case SysSeccomp:
 		return k.sysSeccomp(t, a[0], a[1], a[2]), false
 	case SysProcessVMReadv:
+		k.emitUnknownSyscall(t, nr, site, "process_vm_readv not modelled")
 		return errno(ENOSYS), false
 	default:
 		// Unknown system calls (including the microbenchmark's number
 		// 500 and K23's fake handoff calls) take the full entry path
 		// and fail with ENOSYS.
+		k.emitUnknownSyscall(t, nr, site, "unimplemented")
 		return errno(ENOSYS), false
 	}
+}
+
+// emitUnknownSyscall publishes the visibility event for a syscall the
+// kernel is about to reject with ENOSYS. Without it an
+// interposer-escaped *unknown* syscall would be invisible to the audit
+// ledger and the SFIP learner — the oracle event alone does not say why
+// the call failed. Cost when untraced: one nil-check.
+func (k *Kernel) emitUnknownSyscall(t *Thread, nr, site uint64, why string) {
+	if !k.Tracing() {
+		return
+	}
+	k.emit(Event{PID: t.Proc.PID, TID: t.TID, Kind: EvUnknownSyscall,
+		Num: nr, Site: site, Ret: errno(ENOSYS), Detail: why})
 }
 
 // copyOut writes syscall result data into user memory, honouring page
@@ -599,6 +642,11 @@ func (k *Kernel) sysRead(t *Thread, n int, buf, count uint64) (ret uint64, block
 	}
 	switch f.kind {
 	case fdFile:
+		if f.flags&0x3 == OWronly {
+			// Linux fails reads on write-only descriptors with EBADF
+			// (access-mode check), not EINVAL.
+			return errno(EBADF), false
+		}
 		if f.off >= len(f.data) {
 			return 0, false
 		}
@@ -614,6 +662,10 @@ func (k *Kernel) sysRead(t *Thread, n int, buf, count uint64) (ret uint64, block
 		return uint64(len(chunk)), false
 	case fdConn:
 		return k.connRead(t, n, f, buf, count)
+	case fdSocket, fdListener:
+		// A stream socket with no peer: Linux returns ENOTCONN, not a
+		// generic bad-descriptor error.
+		return errno(ENOTCONN), false
 	default:
 		return errno(EINVAL), false
 	}
@@ -621,6 +673,28 @@ func (k *Kernel) sysRead(t *Thread, n int, buf, count uint64) (ret uint64, block
 
 func (k *Kernel) sysWrite(t *Thread, n int, buf, count uint64) uint64 {
 	p := t.Proc
+	// Linux resolves and validates the descriptor (fget + access-mode
+	// check) before touching the user buffer, so a bad fd wins over a
+	// bad buf — keep that ordering so EBADF/EFAULT precedence conforms.
+	var f *fd
+	if n != 1 && n != 2 {
+		var ok bool
+		f, ok = p.fds[n]
+		if !ok {
+			return errno(EBADF)
+		}
+		switch f.kind {
+		case fdFile:
+			if f.flags&0x3 == ORdonly {
+				return errno(EBADF)
+			}
+		case fdConn:
+		case fdSocket, fdListener:
+			return errno(ENOTCONN)
+		default:
+			return errno(EINVAL)
+		}
+	}
 	data, err := p.AS.KLoad(buf, int(count))
 	if err != nil {
 		return errno(EFAULT)
@@ -628,30 +702,22 @@ func (k *Kernel) sysWrite(t *Thread, n int, buf, count uint64) uint64 {
 	// Chaos: a short write consumes a prefix; the caller's retry loop
 	// (libc write) must issue the remainder.
 	data = k.chaosShortWrite(t, data)
-	switch n {
-	case 1:
+	switch {
+	case n == 1:
 		p.Stdout = append(p.Stdout, data...)
 		return uint64(len(data))
-	case 2:
+	case n == 2:
 		p.Stderr = append(p.Stderr, data...)
 		return uint64(len(data))
-	}
-	f, ok := p.fds[n]
-	if !ok {
-		return errno(EBADF)
-	}
-	switch f.kind {
-	case fdFile:
+	case f.kind == fdConn:
+		return k.connWrite(t, f, data)
+	default:
 		// Writes append to the backing file (the workloads are
 		// log/WAL-style writers).
 		if err := k.FS.Append(f.path, data); err != nil {
 			return errno(EPERM)
 		}
 		return uint64(len(data))
-	case fdConn:
-		return k.connWrite(t, f, data)
-	default:
-		return errno(EINVAL)
 	}
 }
 
@@ -924,6 +990,7 @@ func (k *Kernel) sysExecve(t *Thread, pathAddr, argvAddr, envAddr uint64) (uint6
 		return errno(EFAULT), false
 	}
 	if k.Exec == nil {
+		k.emitUnknownSyscall(t, SysExecve, t.entrySite, "execve: no exec handler installed")
 		return errno(ENOSYS), false
 	}
 	if k.Tracing() {

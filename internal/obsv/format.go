@@ -133,6 +133,10 @@ func FormatRecord(r Record, enterArgs []uint64) string {
 		fmt.Fprintf(&b, "guard-mem %s reserved=%d resident=%d", r.Detail, r.Args[0], r.Args[1])
 	case kernel.EvStaleFetch:
 		fmt.Fprintf(&b, "!!! %d stale instruction fetch(es) !!!", r.Num)
+	case kernel.EvUnknownSyscall:
+		fmt.Fprintf(&b, "??? %s = ENOSYS {site=%#x} <%s> ???", SyscallName(r.Num), r.Site, r.Detail)
+	case kernel.EvSfipViolation:
+		fmt.Fprintf(&b, "### sfip violation %s {site=%#x} <%s> ###", SyscallName(r.Num), r.Site, r.Detail)
 	default:
 		fmt.Fprintf(&b, "%s num=%d site=%#x %s", r.Kind, r.Num, r.Site, r.Detail)
 	}

@@ -18,6 +18,7 @@ package obsv
 import (
 	"k23/internal/audit"
 	"k23/internal/kernel"
+	"k23/internal/sfip"
 	"k23/internal/span"
 )
 
@@ -44,11 +45,22 @@ type Options struct {
 	Spans bool
 	// Machine tags span sets (fleet merges key spans by machine).
 	Machine string
+	// SfipLearn trains an SFIP policy from this run. It forces the
+	// auditor on (the learner rides the audit join's classification) and
+	// surfaces the learned policy in the snapshot.
+	SfipLearn bool
+	// SfipPolicy, when non-nil, installs an SFIP enforcer for this
+	// policy in SfipMode.
+	SfipPolicy *sfip.Policy
+	// SfipMode is the enforcement posture for SfipPolicy (off/log/
+	// enforce).
+	SfipMode sfip.Mode
 }
 
 // Enabled reports whether any collector is requested.
 func (o Options) Enabled() bool {
-	return o.Trace || o.Metrics || o.Audit || o.Spans || o.ProfileEvery != 0
+	return o.Trace || o.Metrics || o.Audit || o.Spans || o.ProfileEvery != 0 ||
+		o.SfipLearn || o.SfipPolicy != nil
 }
 
 // Observer bundles the collectors for one kernel (one World). Create
@@ -60,6 +72,8 @@ type Observer struct {
 	Profiler    *Profiler      // nil unless Opts.ProfileEvery != 0
 	Audit       *audit.Auditor // nil unless Opts.Audit
 	SpanBuilder *span.Builder  // nil unless Opts.Spans
+	Learner     *sfip.Learner  // nil unless Opts.SfipLearn
+	Enforcer    *sfip.Enforcer // nil unless Opts.SfipPolicy != nil
 
 	k *kernel.Kernel // set by Install; used for symbolization
 }
@@ -77,8 +91,17 @@ func New(opts Options) *Observer {
 	if opts.ProfileEvery != 0 {
 		o.Profiler = NewProfiler()
 	}
-	if opts.Audit {
+	if opts.Audit || opts.SfipLearn {
 		o.Audit = audit.New(SyscallName)
+	}
+	if opts.SfipLearn {
+		o.Learner = sfip.NewLearner(opts.Machine, "")
+		o.Learner.Policy().NameFn = SyscallName
+		o.Audit.OnOracle = o.Learner.OnOracle
+	}
+	if opts.SfipPolicy != nil {
+		opts.SfipPolicy.NameFn = SyscallName
+		o.Enforcer = sfip.NewEnforcer(opts.SfipPolicy, opts.SfipMode)
 	}
 	if opts.Spans {
 		o.SpanBuilder = span.NewBuilder(opts.Machine)
@@ -94,7 +117,10 @@ func New(opts Options) *Observer {
 // event hasher keeps running).
 func (o *Observer) Install(k *kernel.Kernel) {
 	o.k = k
-	if o.Ring != nil || o.Metrics != nil || o.Audit != nil || o.SpanBuilder != nil {
+	if o.Enforcer != nil {
+		k.Sfip = o.Enforcer
+	}
+	if o.Ring != nil || o.Metrics != nil || o.Audit != nil || o.SpanBuilder != nil || o.Enforcer != nil {
 		o.installEventHook(k)
 	}
 	if o.SpanBuilder != nil {
@@ -106,7 +132,7 @@ func (o *Observer) Install(k *kernel.Kernel) {
 }
 
 func (o *Observer) installEventHook(k *kernel.Kernel) {
-	ring, metrics, auditor, spans := o.Ring, o.Metrics, o.Audit, o.SpanBuilder
+	ring, metrics, auditor, spans, enf := o.Ring, o.Metrics, o.Audit, o.SpanBuilder, o.Enforcer
 	k.AddEventHook(func(e kernel.Event) {
 		// Pass down by pointer: the collectors only read the event for
 		// the duration of the call, and the hook fires per syscall.
@@ -121,6 +147,9 @@ func (o *Observer) installEventHook(k *kernel.Kernel) {
 		}
 		if spans != nil {
 			spans.HandleEvent(e)
+		}
+		if enf != nil {
+			enf.HandleEvent(&e)
 		}
 	})
 }
@@ -150,6 +179,10 @@ type Snapshot struct {
 	// Spans holds per-machine span sets (one per observer; more after
 	// Merge), in deterministic machine order.
 	Spans []*span.Set `json:"-"`
+	// SfipPolicy is the policy learned this run (nil unless SfipLearn).
+	SfipPolicy *sfip.Policy `json:"-"`
+	// Sfip is the enforcement report (nil unless a policy was installed).
+	Sfip *sfip.Report `json:"-"`
 }
 
 // Snapshot freezes the observer's state. Call after the machine has
@@ -176,6 +209,12 @@ func (o *Observer) Snapshot() *Snapshot {
 	}
 	if o.SpanBuilder != nil {
 		s.Spans = []*span.Set{o.SpanBuilder.Finish()}
+	}
+	if o.Learner != nil {
+		s.SfipPolicy = o.Learner.Policy()
+	}
+	if o.Enforcer != nil {
+		s.Sfip = o.Enforcer.Report()
 	}
 	return s
 }
@@ -209,5 +248,18 @@ func (s *Snapshot) Merge(other *Snapshot) {
 	}
 	if len(other.Spans) != 0 {
 		s.Spans = span.Merge(append(s.Spans, other.Spans...))
+	}
+	if other.SfipPolicy != nil {
+		if s.SfipPolicy == nil {
+			s.SfipPolicy = sfip.NewPolicy(other.SfipPolicy.App, other.SfipPolicy.Mech)
+			s.SfipPolicy.NameFn = other.SfipPolicy.NameFn
+		}
+		s.SfipPolicy.Merge(other.SfipPolicy)
+	}
+	if other.Sfip != nil {
+		if s.Sfip == nil {
+			s.Sfip = &sfip.Report{}
+		}
+		s.Sfip.Merge(other.Sfip)
 	}
 }

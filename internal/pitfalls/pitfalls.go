@@ -98,43 +98,78 @@ type AuditCell struct {
 // Agree reports whether the auditor rediscovered the PoC's verdict.
 func (c *AuditCell) Agree() bool { return c.Handled == c.AuditHandled }
 
-// AuditMatrix runs every PoC against every variant with a shadow-map
-// auditor attached to each world at production start — after any offline
-// phase, which is the paper's controlled environment and not part of the
-// production attack surface. The auditor sees only the kernel's event
-// stream; the PoCs' internal hook counters never feed it.
-func AuditMatrix(specs []variants.Spec, opts ...kernel.Option) ([]AuditCell, error) {
-	var out []AuditCell
+// ObservedCell pairs one matrix cell with the observers attached to the
+// worlds its PoC built, in creation order. Observers[i] is nil when the
+// options for world i enabled no collector.
+type ObservedCell struct {
+	Result
+	Observers []*obsv.Observer
+}
+
+// ObservedMatrix runs every PoC against every variant with an observer
+// attached to each world at production start — after any offline phase,
+// which is the paper's controlled environment and not part of the
+// production attack surface. optsFor chooses the collectors per (PoC,
+// variant, world index); the observers see only the kernel's event
+// stream, never the PoCs' internal hook counters. AuditMatrix and the
+// SFIP evaluation (internal/bench) are built on this runner.
+func ObservedMatrix(specs []variants.Spec, optsFor func(poc PoC, spec variants.Spec, world int) obsv.Options,
+	opts ...kernel.Option) ([]ObservedCell, error) {
+	var out []ObservedCell
 	for _, poc := range All() {
 		for _, spec := range specs {
 			var observers []*obsv.Observer
-			auditInstall = func(w *interpose.World) {
-				o := obsv.New(obsv.Options{Audit: true})
+			observeInstall = func(w *interpose.World) {
+				oo := optsFor(poc, spec, len(observers))
+				if !oo.Enabled() {
+					observers = append(observers, nil)
+					return
+				}
+				o := obsv.New(oo)
 				o.Install(w.K)
 				observers = append(observers, o)
 			}
 			handled, detail, err := poc.Run(spec, opts...)
-			auditInstall = nil
+			observeInstall = nil
 			if err != nil {
 				return nil, fmt.Errorf("pitfalls: %s under %s: %w", poc.ID, spec.Name, err)
 			}
-			snaps := make([]*audit.Snapshot, 0, len(observers))
-			for _, o := range observers {
-				snaps = append(snaps, o.Snapshot().Audit)
-			}
-			ah, ad := audit.PitfallVerdict(poc.ID, snaps)
-			out = append(out, AuditCell{
+			out = append(out, ObservedCell{
 				Result: Result{
 					Pitfall:    poc.ID,
 					Interposer: spec.Name,
 					Handled:    handled,
 					Detail:     detail,
 				},
-				AuditHandled: ah,
-				AuditDetail:  ad,
-				Snapshots:    snaps,
+				Observers: observers,
 			})
 		}
+	}
+	return out, nil
+}
+
+// AuditMatrix runs every PoC against every variant with a shadow-map
+// auditor attached to each world at production start.
+func AuditMatrix(specs []variants.Spec, opts ...kernel.Option) ([]AuditCell, error) {
+	cells, err := ObservedMatrix(specs,
+		func(PoC, variants.Spec, int) obsv.Options { return obsv.Options{Audit: true} }, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AuditCell, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		snaps := make([]*audit.Snapshot, 0, len(c.Observers))
+		for _, o := range c.Observers {
+			snaps = append(snaps, o.Snapshot().Audit)
+		}
+		ah, ad := audit.PitfallVerdict(c.Pitfall, snaps)
+		out = append(out, AuditCell{
+			Result:       c.Result,
+			AuditHandled: ah,
+			AuditDetail:  ad,
+			Snapshots:    snaps,
+		})
 	}
 	return out, nil
 }
@@ -253,12 +288,12 @@ func world(opts ...kernel.Option) *interpose.World {
 	return w
 }
 
-// auditInstall, when non-nil, is invoked on every PoC world at the
+// observeInstall, when non-nil, is invoked on every PoC world at the
 // moment production interposition starts — after any offline phase, so
-// the auditor never attributes the controlled offline environment's
-// syscalls to the production attack surface. Set only by AuditMatrix;
-// the PoC suite runs serially.
-var auditInstall func(w *interpose.World)
+// observers never attribute the controlled offline environment's
+// syscalls to the production attack surface. Set only by
+// ObservedMatrix; the PoC suite runs serially.
+var observeInstall func(w *interpose.World)
 
 // launcherFor constructs the launcher for a spec, running the offline
 // phase with benign arguments first when the variant needs a log.
@@ -281,8 +316,8 @@ func launcherFor(w *interpose.World, spec variants.Spec, cfg interpose.Config,
 		name := target[strings.LastIndexByte(target, '/')+1:]
 		logPath = off.LogPath(name)
 	}
-	if auditInstall != nil {
-		auditInstall(w)
+	if observeInstall != nil {
+		observeInstall(w)
 	}
 	return spec.New(cfg, logPath), nil
 }

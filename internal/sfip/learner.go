@@ -1,0 +1,66 @@
+package sfip
+
+import "k23/internal/kernel"
+
+// threadKey identifies a thread across processes (the digraph is
+// per-thread: each thread chains its own predecessor).
+type threadKey struct {
+	pid, tid int
+}
+
+// Learner builds a Policy from the audit join's classified oracle
+// stream. It plugs into audit.Auditor.OnOracle: every ground-truth
+// oracle arrives with the auditor's verdict, and only trap-origin calls
+// the auditor attributes to the interposer ("covered") or to signal
+// infrastructure are learned — escapes advance the predecessor chain
+// (the call really executed, so the enforcer's Commit would have) but
+// never widen the policy. A PoC that escapes in training therefore still
+// trips the learned policy under enforcement.
+type Learner struct {
+	// LearnAll widens training to every trap oracle regardless of
+	// class, escapes included. The security evaluation never sets it;
+	// the overhead benchmark does, so enforcement-mode cost is measured
+	// on a violation-free path.
+	LearnAll bool
+
+	policy *Policy
+	last   map[threadKey]int64
+}
+
+// NewLearner returns a learner training a fresh policy for (app, mech).
+func NewLearner(app, mech string) *Learner {
+	return &Learner{
+		policy: NewPolicy(app, mech),
+		last:   make(map[threadKey]int64),
+	}
+}
+
+// OnOracle consumes one classified ground-truth oracle. The signature
+// matches audit.Auditor.OnOracle; wire it with:
+//
+//	auditor.OnOracle = learner.OnOracle
+func (l *Learner) OnOracle(e *kernel.Event, class string) {
+	if e.Detail != "trap" {
+		// Direct host calls and infra-origin hostcalls are exempt from
+		// SFIP (the enforcer never checks them); learning them would
+		// only bloat the digraph.
+		return
+	}
+	key := threadKey{e.PID, e.TID}
+	from, seen := l.last[key]
+	if !seen {
+		from = FirstCall
+	}
+	if l.LearnAll || class == "covered" || class == "signal-infra" {
+		l.policy.AddOrigin(e.Num, e.Site)
+		l.policy.AddEdge(from, e.Num)
+	}
+	// Every trap call — learned or not — advances the predecessor, in
+	// lockstep with the enforcer's Commit (which fires on every
+	// completed trap-origin syscall regardless of policy verdict).
+	l.last[key] = int64(e.Num)
+}
+
+// Policy returns the policy learned so far. The caller owns it; the
+// learner keeps training into the same object if fed further oracles.
+func (l *Learner) Policy() *Policy { return l.policy }

@@ -1,0 +1,323 @@
+// Package sfip implements simulated syscall-flow-integrity protection
+// (SFIP, after Canella et al.): a per-application policy learned from
+// audited training runs — the set of legitimate trap origin sites plus a
+// coarse syscall-transition digraph — and an enforcer that checks every
+// trap-origin syscall against that policy at kernel entry (DESIGN.md
+// §2h). The policy is deliberately trained on the audit join's
+// *classification* rather than the raw oracle stream: only calls the
+// auditor attributes to the interposer ("covered") or to signal
+// infrastructure are learned, so pitfall escapes never contaminate a
+// policy and therefore trip it at enforcement time.
+package sfip
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// FirstCall is the sentinel predecessor for the first trap-origin
+// syscall a thread issues: the transition digraph models "thread start"
+// as a pseudo-node so the first real call is policed too.
+const FirstCall int64 = -1
+
+// originKey is one legitimate (syscall, origin site) pair.
+type originKey struct {
+	Nr   uint64
+	Site uint64
+}
+
+// edgeKey is one legitimate transition in the coarse per-thread syscall
+// digraph. From is a syscall number, or FirstCall for thread start.
+type edgeKey struct {
+	From int64
+	To   uint64
+}
+
+// Policy is a learned per-application SFIP policy: the allowed origin
+// set and the allowed transition digraph, with observation counts.
+// Counts make Merge order-independent (fleet aggregation) and give the
+// report a notion of how well-trodden each edge is; membership alone
+// decides enforcement.
+type Policy struct {
+	// App and Mech name the workload and mechanism the policy was
+	// trained under (informational; carried through serialization).
+	App  string
+	Mech string
+	// Version is the serialization format version.
+	Version int
+	// NameFn maps syscall numbers to display names for reports.
+	// Injected (like audit.NameFn) to keep the package free of an obsv
+	// dependency. Not serialized.
+	NameFn func(uint64) string
+
+	origins map[originKey]uint64
+	edges   map[edgeKey]uint64
+}
+
+// PolicyVersion is the current serialization format version.
+const PolicyVersion = 1
+
+// NewPolicy returns an empty policy for the named app and mechanism.
+func NewPolicy(app, mech string) *Policy {
+	return &Policy{
+		App:     app,
+		Mech:    mech,
+		Version: PolicyVersion,
+		origins: make(map[originKey]uint64),
+		edges:   make(map[edgeKey]uint64),
+	}
+}
+
+func (p *Policy) name(nr uint64) string {
+	if p.NameFn != nil {
+		return p.NameFn(nr)
+	}
+	return fmt.Sprintf("syscall_%d", nr)
+}
+
+// AddOrigin records one observation of syscall nr trapping from site.
+func (p *Policy) AddOrigin(nr, site uint64) { p.origins[originKey{nr, site}]++ }
+
+// AddEdge records one observation of the transition from → to.
+func (p *Policy) AddEdge(from int64, to uint64) { p.edges[edgeKey{from, to}]++ }
+
+// AllowedOrigin reports whether (nr, site) is in the learned origin set.
+func (p *Policy) AllowedOrigin(nr, site uint64) bool {
+	_, ok := p.origins[originKey{nr, site}]
+	return ok
+}
+
+// AllowedEdge reports whether the transition from → to is in the
+// learned digraph.
+func (p *Policy) AllowedEdge(from int64, to uint64) bool {
+	_, ok := p.edges[edgeKey{from, to}]
+	return ok
+}
+
+// Origins and Edges report the policy's cardinality.
+func (p *Policy) Origins() int { return len(p.origins) }
+func (p *Policy) Edges() int   { return len(p.edges) }
+
+// Merge folds other's observations into p (count sums). Merge is
+// commutative and associative over the counts, so fleet-level policies
+// are independent of machine completion order.
+func (p *Policy) Merge(other *Policy) {
+	if other == nil {
+		return
+	}
+	for k, n := range other.origins {
+		p.origins[k] += n
+	}
+	for k, n := range other.edges {
+		p.edges[k] += n
+	}
+}
+
+// sortedOrigins returns the origin keys in (Nr, Site) order.
+func (p *Policy) sortedOrigins() []originKey {
+	keys := make([]originKey, 0, len(p.origins))
+	for k := range p.origins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Nr != keys[j].Nr {
+			return keys[i].Nr < keys[j].Nr
+		}
+		return keys[i].Site < keys[j].Site
+	})
+	return keys
+}
+
+// sortedEdges returns the edge keys in (From, To) order.
+func (p *Policy) sortedEdges() []edgeKey {
+	keys := make([]edgeKey, 0, len(p.edges))
+	for k := range p.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	return keys
+}
+
+// Hash returns a deterministic FNV-1a digest of the policy's
+// membership and counts (sorted serialization; map iteration order
+// cannot leak in). Hash equality is the workers=1 ≡ workers=8
+// determinism criterion for learned policies.
+func (p *Policy) Hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "sfip %q %q v%d\n", p.App, p.Mech, p.Version)
+	for _, k := range p.sortedOrigins() {
+		fmt.Fprintf(h, "o %d %#x %d\n", k.Nr, k.Site, p.origins[k])
+	}
+	for _, k := range p.sortedEdges() {
+		fmt.Fprintf(h, "e %d %d %d\n", k.From, k.To, p.edges[k])
+	}
+	return h.Sum64()
+}
+
+// JSONL record types for serialized policies. Every line is a JSON
+// object with a "type" field:
+//
+//	sfip-policy — the header (exactly one, first line): app, mech,
+//	              version, and the origin/edge cardinalities
+//	origin      — one allowed (syscall, site) pair with its count
+//	edge        — one allowed transition with its count
+const (
+	RecPolicy = "sfip-policy"
+	RecOrigin = "origin"
+	RecEdge   = "edge"
+)
+
+type policyHeader struct {
+	App     string `json:"app"`
+	Mech    string `json:"mech"`
+	Version int    `json:"version"`
+	Origins int    `json:"origins"`
+	Edges   int    `json:"edges"`
+}
+
+type originRec struct {
+	Nr    uint64 `json:"nr"`
+	Name  string `json:"name"`
+	Site  uint64 `json:"site"`
+	Count uint64 `json:"count"`
+}
+
+type edgeRec struct {
+	From     int64  `json:"from"` // -1 = thread start
+	To       uint64 `json:"to"`
+	Name     string `json:"name"` // display name of To
+	Count    uint64 `json:"count"`
+	FromName string `json:"from_name"`
+}
+
+// writeTagged marshals v and splices a leading "type" field in, keeping
+// one JSON object per line (same shape as the audit JSONL writer).
+func writeTagged(bw *bufio.Writer, typ string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`{"type":"` + typ + `",`); err != nil {
+		return err
+	}
+	if _, err := bw.Write(b[1:]); err != nil { // strip the inner '{'
+		return err
+	}
+	return bw.WriteByte('\n')
+}
+
+// WriteJSONL serializes the policy: header first, then origins and
+// edges in sorted (deterministic) order.
+func (p *Policy) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := policyHeader{App: p.App, Mech: p.Mech, Version: p.Version,
+		Origins: len(p.origins), Edges: len(p.edges)}
+	if err := writeTagged(bw, RecPolicy, &hdr); err != nil {
+		return err
+	}
+	for _, k := range p.sortedOrigins() {
+		rec := originRec{Nr: k.Nr, Name: p.name(k.Nr), Site: k.Site, Count: p.origins[k]}
+		if err := writeTagged(bw, RecOrigin, &rec); err != nil {
+			return err
+		}
+	}
+	for _, k := range p.sortedEdges() {
+		fromName := "start"
+		if k.From >= 0 {
+			fromName = p.name(uint64(k.From))
+		}
+		rec := edgeRec{From: k.From, To: k.To, Name: p.name(k.To),
+			Count: p.edges[k], FromName: fromName}
+		if err := writeTagged(bw, RecEdge, &rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPolicy parses a policy serialized by WriteJSONL.
+func ReadPolicy(r io.Reader) (*Policy, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var p *Policy
+	lines, hdrOrigins, hdrEdges := 0, 0, 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var raw struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return nil, fmt.Errorf("line %d: not a JSON object: %v", lines, err)
+		}
+		switch raw.Type {
+		case RecPolicy:
+			if p != nil {
+				return nil, fmt.Errorf("line %d: duplicate policy header", lines)
+			}
+			var hdr policyHeader
+			if err := json.Unmarshal(line, &hdr); err != nil {
+				return nil, fmt.Errorf("line %d: bad header: %v", lines, err)
+			}
+			if hdr.Version != PolicyVersion {
+				return nil, fmt.Errorf("line %d: unsupported policy version %d", lines, hdr.Version)
+			}
+			p = NewPolicy(hdr.App, hdr.Mech)
+			hdrOrigins, hdrEdges = hdr.Origins, hdr.Edges
+		case RecOrigin:
+			if p == nil {
+				return nil, fmt.Errorf("line %d: origin before policy header", lines)
+			}
+			var rec originRec
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("line %d: bad origin: %v", lines, err)
+			}
+			p.origins[originKey{rec.Nr, rec.Site}] += rec.Count
+		case RecEdge:
+			if p == nil {
+				return nil, fmt.Errorf("line %d: edge before policy header", lines)
+			}
+			var rec edgeRec
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("line %d: bad edge: %v", lines, err)
+			}
+			p.edges[edgeKey{rec.From, rec.To}] += rec.Count
+		default:
+			return nil, fmt.Errorf("line %d: unknown record type %q", lines, raw.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("no policy header found")
+	}
+	if len(p.origins) != hdrOrigins || len(p.edges) != hdrEdges {
+		return nil, fmt.Errorf("header declares %d origins / %d edges, stream carries %d / %d",
+			hdrOrigins, hdrEdges, len(p.origins), len(p.edges))
+	}
+	return p, nil
+}
+
+// ValidatePolicyJSONL checks a serialized policy stream: exactly one
+// header, every record well-formed, and the header cardinalities match
+// the record counts. Returns the number of valid lines.
+func ValidatePolicyJSONL(r io.Reader) (int, error) {
+	p, err := ReadPolicy(r)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + len(p.origins) + len(p.edges), nil
+}
