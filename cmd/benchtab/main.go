@@ -78,7 +78,7 @@ func parseWorkers(s string) ([]int, error) {
 func main() {
 	table := flag.String("table", "", "regenerate a table: 2, 3, 5, 6, or all")
 	figure := flag.String("figure", "", "regenerate a figure's content: 1, 2, or 4")
-	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b, decodecache, jit, obsoverhead, coverage, rr, phases or sfip")
+	claim := flag.String("claim", "", "measure a standalone claim: startup, p4b, decodecache, jit, obsoverhead, probes, coverage, rr, phases or sfip")
 	fleetN := flag.Int("fleet", 0, "run a fleet of N simulated machines and report scaling")
 	workersSpec := flag.String("workers", "8", "worker counts for -fleet: a number or comma list (1,2,4,8)")
 	fleetWorkload := flag.String("fleet-workload", "micro", "fleet machine type: micro (syscall loop), macro (redis server), or apps (difftest mix)")
@@ -91,7 +91,7 @@ func main() {
 	flag.Parse()
 
 	if *table == "" && *figure == "" && *claim == "" && *fleetN == 0 && !*sidecar && *chaosSweep == 0 && *chaosRepro == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|jit|obsoverhead|coverage|rr|phases|sfip | -fleet N -workers W | -metrics-sidecar | -chaos-sweep N | -chaos-repro SEED")
+		fmt.Fprintln(os.Stderr, "usage: benchtab -table 2|3|5|6|all | -figure 1|2|4 | -claim startup|p4b|decodecache|jit|obsoverhead|probes|coverage|rr|phases|sfip | -fleet N -workers W | -metrics-sidecar | -chaos-sweep N | -chaos-repro SEED")
 		os.Exit(2)
 	}
 
@@ -292,6 +292,15 @@ func main() {
 				return err
 			}
 			fmt.Print(s)
+			return nil
+		})
+	case "probes":
+		run("Claim — probe DSL: per-mechanism write latency from one probe line (E22)", func() error {
+			snap, err := bench.MeasureProbes()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatProbes(snap))
 			return nil
 		})
 	case "obsoverhead":

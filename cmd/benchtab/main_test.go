@@ -211,6 +211,20 @@ func TestGoldenSfip(t *testing.T) {
 	checkGolden(t, "sfip.golden", got)
 }
 
+// TestGoldenProbes pins `benchtab -claim probes` (E22): the
+// per-mechanism write()-latency histograms that one probe line produces
+// over the lighttpd workload under every Table 5 variant. Engines ride
+// the side-streams and charge nothing, so every bucket is in simulated
+// cycles; drift means a mechanism's write path cost actually moved or
+// the probe engine's aggregation changed.
+func TestGoldenProbes(t *testing.T) {
+	snap, err := bench.MeasureProbes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "probes.golden", bench.FormatProbes(snap))
+}
+
 // TestGoldenCoverage pins the audited coverage matrices (E17): the
 // full per-syscall x per-mechanism counts, escapes by taxonomy
 // category, and TTFC for every coverage app under every coverage

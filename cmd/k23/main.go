@@ -32,6 +32,7 @@ import (
 	"k23/internal/interpose/variants"
 	"k23/internal/kernel"
 	"k23/internal/obsv"
+	"k23/internal/probe"
 	"k23/internal/sfip"
 	"k23/internal/span"
 )
@@ -112,6 +113,23 @@ func writeSpanOutputs(sets []*span.Set, spansOut, perfettoOut string, critPath b
 	}
 }
 
+// writeProbeOutputs emits the probe aggregation JSONL shared by the
+// plain and record/replay paths (stdout when no -probe-out file).
+func writeProbeOutputs(snap *probe.Snapshot, out string) {
+	if snap == nil {
+		return
+	}
+	if out == "" {
+		if err := snap.WriteJSONL(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "k23: probe JSONL: %v\n", err)
+		}
+		return
+	}
+	writeFile(out, "probe JSONL", func(f *os.File) error {
+		return snap.WriteJSONL(f)
+	})
+}
+
 // writeSfipOutputs emits the SFIP artifacts shared by the plain and
 // record/replay paths: the learned policy and/or the enforcement report.
 func writeSfipOutputs(o *obsv.Observer, learnOut, reportOut string) {
@@ -151,6 +169,9 @@ func main() {
 	sfipIn := flag.String("sfip", "", "load a learned SFIP policy from FILE and check the run's trap-origin syscalls against it (posture set by -sfip-mode)")
 	sfipModeFlag := flag.String("sfip-mode", "enforce", "SFIP posture with -sfip: log (report violations, perturb nothing) or enforce (deny violations with EPERM)")
 	sfipJSON := flag.String("sfip-json", "", "write the SFIP enforcement report as JSONL to FILE (validate with obsvcheck -sfip)")
+	probeSrc := flag.String("probe", "", "run this probe program (bpftrace-style, e.g. 'syscall:write:exit { hist(cycles) by (mech) }') over the run's event streams; with -replay, runs it retroactively over the recording")
+	probeFile := flag.String("probe-file", "", "read the probe program from FILE instead of -probe")
+	probeOut := flag.String("probe-out", "", "write probe aggregations as canonical JSONL to FILE (validate with obsvcheck -probe; default stdout)")
 	spansOut := flag.String("spans", "", "assemble causal syscall-lifecycle spans and write them as JSONL to FILE (validate with obsvcheck -spans; with -replay, derives the trace retroactively)")
 	perfettoOut := flag.String("perfetto", "", "write the span trace as Chrome/Perfetto trace_event JSON to FILE (open in ui.perfetto.dev)")
 	critPath := flag.Bool("critpath", false, "print the critical path of the longest syscall lifecycle chain (requires -spans or -perfetto)")
@@ -204,6 +225,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "k23:", err)
 		os.Exit(2)
 	}
+	var probes *probe.Compiled
+	if *probeSrc != "" || *probeFile != "" {
+		src := *probeSrc
+		if *probeFile != "" {
+			if src != "" {
+				fmt.Fprintln(os.Stderr, "k23: -probe and -probe-file are mutually exclusive")
+				os.Exit(2)
+			}
+			b, err := os.ReadFile(*probeFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "k23: probe:", err)
+				os.Exit(2)
+			}
+			src = string(b)
+		}
+		probes, err = obsv.CompileProbes(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k23: probe:", err)
+			os.Exit(2)
+		}
+	}
 	var sfipPolicy *sfip.Policy
 	if *sfipIn != "" {
 		f, err := os.Open(*sfipIn)
@@ -229,6 +271,7 @@ func main() {
 			spansOut: *spansOut, perfettoOut: *perfettoOut, critPath: *critPath,
 			sfipLearn: *sfipLearn, sfipPolicy: sfipPolicy,
 			sfipMode: sfipMode, sfipJSON: *sfipJSON,
+			probes: probes, probeOut: *probeOut,
 		}
 		os.Exit(c.run(path, argv))
 	}
@@ -292,6 +335,15 @@ func main() {
 	if *auditFlag || *auditJSON != "" {
 		auditObs = obsv.New(obsv.Options{Audit: true})
 		auditObs.Install(w.K)
+	}
+
+	// Probes attach post-offline too — the same attach point the fleet
+	// and the replay path's BeforeLaunch hook use, which is what makes
+	// live and replay-derived probe output byte-comparable.
+	var probeObs *obsv.Observer
+	if probes != nil {
+		probeObs = obsv.New(obsv.Options{Probes: probes, ProbeMech: *variant})
+		probeObs.Install(w.K)
 	}
 
 	// SFIP attaches at the same post-offline point: policies are learned
@@ -388,6 +440,10 @@ func main() {
 				return audit.WriteJSONL(f)
 			})
 		}
+	}
+
+	if probeObs != nil {
+		writeProbeOutputs(probeObs.Snapshot().Probes, *probeOut)
 	}
 
 	if sfipObs != nil {

@@ -10,6 +10,7 @@ import (
 	"k23/internal/interpose"
 	"k23/internal/kernel"
 	"k23/internal/obsv"
+	"k23/internal/probe"
 	"k23/internal/rr"
 	"k23/internal/sfip"
 )
@@ -43,6 +44,12 @@ type rrCLI struct {
 	sfipPolicy *sfip.Policy
 	sfipMode   sfip.Mode
 	sfipJSON   string // -sfip-json FILE
+	// Probe program. Like spans, a -replay run derives aggregations
+	// retroactively: the engine rides the side-stream hooks and charges
+	// no guest cycles, so replay-derived output is byte-identical to a
+	// live-probed run's.
+	probes   *probe.Compiled
+	probeOut string
 }
 
 // wantSpans reports whether any span-layer output was requested.
@@ -64,11 +71,20 @@ func (c rrCLI) run(path string, argv []string) int {
 	if len(argv) != 0 {
 		app = argv[0]
 	}
-	var obs, auditObs, sfipObs *obsv.Observer
+	var obs, auditObs, sfipObs, probeObs *obsv.Observer
+	// On replay the probe mech context comes from the recording's spec,
+	// not the -variant default — otherwise live and replay-derived
+	// output would disagree on the `mech` field. The closure captures
+	// the variable; the replay path overwrites it before launch.
+	probeMech := c.variant
 	hooks := rr.Hooks{BeforeLaunch: func(w *interpose.World) {
 		if c.trace || c.wantSpans() {
 			obs = obsv.New(obsv.Options{Trace: c.trace, RingSize: c.ring, Spans: c.wantSpans()})
 			obs.Install(w.K)
+		}
+		if c.probes != nil {
+			probeObs = obsv.New(obsv.Options{Probes: c.probes, ProbeMech: probeMech})
+			probeObs.Install(w.K)
 		}
 		if c.audit || c.auditJSON != "" {
 			auditObs = obsv.New(obsv.Options{Audit: true})
@@ -98,6 +114,7 @@ func (c rrCLI) run(path string, argv []string) int {
 			fmt.Fprintln(os.Stderr, "k23: replay:", err)
 			return 1
 		}
+		probeMech = rec.Spec.Mechanism
 		s, err = rr.Replay(rec, hooks)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "k23: replay:", err)
@@ -174,6 +191,9 @@ func (c rrCLI) run(path string, argv []string) int {
 	}
 	if sfipObs != nil {
 		writeSfipOutputs(sfipObs, c.sfipLearn, c.sfipJSON)
+	}
+	if probeObs != nil {
+		writeProbeOutputs(probeObs.Snapshot().Probes, c.probeOut)
 	}
 
 	if c.recordOut != "" {

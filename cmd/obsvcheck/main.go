@@ -21,6 +21,12 @@
 // contain their children on both timelines, cause edges that point
 // backwards to known spans, and monotone phase slices within bounds.
 //
+// With -probe it validates probe aggregation JSONL (as written by
+// `k23 -probe-out` and the benchtab probes claim): one header whose
+// program hash, row/emit cardinalities and content hash match the
+// stream, rows in canonical (probe, action, key) order, and emits in
+// (machine, ord) order.
+//
 // With -sfip it validates SFIP enforcement reports (as written by
 // `k23 -sfip-json`): exactly one summary with a known mode, known
 // violation categories, and no more ledgered violations than the
@@ -34,6 +40,7 @@
 //	obsvcheck -audit FILE...       validate each audit report
 //	obsvcheck -rr FILE...          validate each rr recording
 //	obsvcheck -spans FILE...       validate each span trace
+//	obsvcheck -probe FILE...       validate each probe aggregation
 //	obsvcheck -sfip FILE...        validate each SFIP report
 //	obsvcheck -sfip-policy FILE... validate each SFIP policy
 //	obsvcheck -                    validate stdin
@@ -47,6 +54,7 @@ import (
 
 	"k23/internal/audit"
 	"k23/internal/obsv"
+	"k23/internal/probe"
 	"k23/internal/rr"
 	"k23/internal/sfip"
 	"k23/internal/span"
@@ -70,6 +78,17 @@ func checkSfip(name string, r io.Reader, policy bool) bool {
 		return false
 	}
 	fmt.Printf("%s: %s OK (%d records)\n", name, what, n)
+	return true
+}
+
+// checkProbe validates one probe aggregation stream.
+func checkProbe(name string, r io.Reader) bool {
+	n, err := probe.ValidateJSONL(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsvcheck: %s: %v\n", name, err)
+		return false
+	}
+	fmt.Printf("%s: probe aggregation OK (%d records)\n", name, n)
 	return true
 }
 
@@ -128,18 +147,19 @@ func main() {
 	auditMode := flag.Bool("audit", false, "validate audit-report JSONL instead of flight-recorder traces")
 	rrMode := flag.Bool("rr", false, "validate record/replay recording JSONL instead of flight-recorder traces")
 	spansMode := flag.Bool("spans", false, "validate causal span JSONL instead of flight-recorder traces")
+	probeMode := flag.Bool("probe", false, "validate probe aggregation JSONL instead of flight-recorder traces")
 	sfipMode := flag.Bool("sfip", false, "validate SFIP enforcement-report JSONL instead of flight-recorder traces")
 	sfipPolicyMode := flag.Bool("sfip-policy", false, "validate serialized SFIP policy JSONL instead of flight-recorder traces")
 	flag.Parse()
 	args := flag.Args()
 	modes := 0
-	for _, m := range []bool{*auditMode, *rrMode, *spansMode, *sfipMode, *sfipPolicyMode} {
+	for _, m := range []bool{*auditMode, *rrMode, *spansMode, *probeMode, *sfipMode, *sfipPolicyMode} {
 		if m {
 			modes++
 		}
 	}
 	if len(args) == 0 || modes > 1 {
-		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit|-rr|-spans|-sfip|-sfip-policy] FILE... | obsvcheck [-audit|-rr|-spans|-sfip|-sfip-policy] -")
+		fmt.Fprintln(os.Stderr, "usage: obsvcheck [-audit|-rr|-spans|-probe|-sfip|-sfip-policy] FILE... | obsvcheck [-audit|-rr|-spans|-probe|-sfip|-sfip-policy] -")
 		os.Exit(2)
 	}
 	validate := func(name string, r io.Reader) bool {
@@ -148,6 +168,9 @@ func main() {
 		}
 		if *spansMode {
 			return checkSpans(name, r)
+		}
+		if *probeMode {
+			return checkProbe(name, r)
 		}
 		if *sfipMode || *sfipPolicyMode {
 			return checkSfip(name, r, *sfipPolicyMode)

@@ -121,12 +121,21 @@ func obsOverheadOnce(spec variants.Spec, opts obsv.Options, installEmpty bool) (
 	return insts, wall, nil
 }
 
+// obsOverheadProbe is the probe program the overhead claim's probes row
+// runs — the hot path pays one match per syscall exit plus a histogram
+// bump, and the disabled path stays the usual single nil-check.
+const obsOverheadProbe = `syscall:*:exit { hist(cycles) by (mech) }`
+
 // MeasureObsOverhead measures the wall-clock cost of each collector set
 // on the Table 2 micro workload under variantName (EXPERIMENTS.md E15).
 func MeasureObsOverhead(variantName string) ([]ObsOverheadRow, error) {
 	spec, ok := variants.ByName(variantName)
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown variant %s", variantName)
+	}
+	probes, err := obsv.CompileProbes(obsOverheadProbe)
+	if err != nil {
+		return nil, err
 	}
 	configs := []struct {
 		name         string
@@ -138,6 +147,7 @@ func MeasureObsOverhead(variantName string) ([]ObsOverheadRow, error) {
 		{"metrics", obsv.Options{Metrics: true}, false},
 		{"audit", obsv.Options{Audit: true}, false},
 		{"spans", obsv.Options{Spans: true}, false},
+		{"probes", obsv.Options{Probes: probes, ProbeMech: variantName}, false},
 		{"trace[512]+metrics", obsv.Options{Trace: true, RingSize: 512, Metrics: true}, false},
 		{"trace+metrics", obsv.Options{Trace: true, Metrics: true}, false},
 		{"trace+metrics+profile", obsv.Options{Trace: true, Metrics: true, ProfileEvery: obsv.DefaultProfileEvery}, false},

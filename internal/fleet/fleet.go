@@ -30,6 +30,7 @@ import (
 	"k23/internal/interpose/variants"
 	"k23/internal/kernel"
 	"k23/internal/obsv"
+	"k23/internal/probe"
 	"k23/internal/rr"
 	"k23/internal/sfip"
 )
@@ -164,6 +165,12 @@ type Options struct {
 	SfipPolicies map[string]*sfip.Policy
 	// SfipMode is the enforcement posture for SfipPolicies.
 	SfipMode sfip.Mode
+	// Probes runs a compiled probe program (internal/probe) on every
+	// machine. The Compiled is immutable and shared read-only; each
+	// machine instantiates its own engine keyed by machine name and
+	// mechanism, and per-machine snapshots merge commutatively in
+	// MergedObs — so probe output is bit-identical at any worker count.
+	Probes *probe.Compiled
 }
 
 // Report aggregates a fleet run.
@@ -411,6 +418,10 @@ func runMachine(ctx context.Context, m Machine, opt Options) Result {
 		oo.SfipPolicy = p
 		oo.SfipMode = opt.SfipMode
 	}
+	if opt.Probes != nil {
+		oo.Probes = opt.Probes
+		oo.ProbeMech = probeMech(m)
+	}
 	if oo.Enabled() {
 		// Installed after the hash hook so AddEventHook chains both, and
 		// after any offline phase — the controlled environment the audit
@@ -504,6 +515,10 @@ func runRecorded(m Machine, opt Options, res *Result) {
 		oo.SfipPolicy = p
 		oo.SfipMode = opt.SfipMode
 	}
+	if opt.Probes != nil {
+		oo.Probes = opt.Probes
+		oo.ProbeMech = probeMech(m)
+	}
 	if oo.Enabled() {
 		hooks.BeforeLaunch = func(w *interpose.World) {
 			obs = obsv.New(oo)
@@ -533,6 +548,15 @@ func runRecorded(m Machine, opt Options, res *Result) {
 	if obs != nil {
 		res.Obs = obs.Snapshot()
 	}
+}
+
+// probeMech is the static mechanism context a machine's probe engine
+// reports for the `mech` field on streams that do not carry one.
+func probeMech(m Machine) string {
+	if m.Mechanism != "" {
+		return m.Mechanism
+	}
+	return "native"
 }
 
 // inject waits for the server to listen and queues one keepalive

@@ -8,6 +8,7 @@ import (
 	"k23/internal/fleet"
 	"k23/internal/kernel"
 	"k23/internal/obsv"
+	"k23/internal/probe"
 )
 
 // TestEventKindNamesExhaustive guards the event-kind naming table:
@@ -33,6 +34,61 @@ func TestEventKindNamesExhaustive(t *testing.T) {
 	}
 	if _, ok := kernel.EventKindByName("no-such-kind"); ok {
 		t.Error("EventKindByName accepted a bogus name")
+	}
+}
+
+// TestProbeAttachCoversEventKinds guards the probe DSL's attach-point
+// tables the same way: a new kernel.EventKind or kernel.Phase without a
+// probe binding would make that event silently unobservable from probe
+// programs. Every kind/phase must map to an attach spelling that
+// actually parses and compiles.
+func TestProbeAttachCoversEventKinds(t *testing.T) {
+	if len(probe.EventKindAttach) != kernel.NumEventKinds {
+		t.Errorf("EventKindAttach has %d entries, want %d — new event kind without a probe attach point",
+			len(probe.EventKindAttach), kernel.NumEventKinds)
+	}
+	for k := kernel.EventKind(0); int(k) < kernel.NumEventKinds; k++ {
+		spec, ok := probe.EventKindAttach[k]
+		if !ok {
+			t.Errorf("EventKind %s (%d) has no probe attach point", k, k)
+			continue
+		}
+		if _, err := obsv.CompileProbes(spec + " { count() }"); err != nil {
+			t.Errorf("EventKind %s attach %q does not compile: %v", k, spec, err)
+		}
+	}
+	// PhUnknown is deliberately unbound (the kernel never emits it); all
+	// real phases must be probeable.
+	if len(probe.PhaseAttach) != kernel.NumPhases-1 {
+		t.Errorf("PhaseAttach has %d entries, want %d — new phase without a probe attach point",
+			len(probe.PhaseAttach), kernel.NumPhases-1)
+	}
+	for p := kernel.PhUnknown + 1; int(p) < kernel.NumPhases; p++ {
+		spec, ok := probe.PhaseAttach[p]
+		if !ok {
+			t.Errorf("Phase %s (%d) has no probe attach point", p, p)
+			continue
+		}
+		if _, err := obsv.CompileProbes(spec + " { count() }"); err != nil {
+			t.Errorf("Phase %s attach %q does not compile: %v", p, spec, err)
+		}
+	}
+}
+
+// TestSyscallNrByNameRoundTrips guards the probe attach resolver: every
+// name the metrics/strace layer can render must resolve back to its
+// number, including the syscall_N fallback spelling, or probe programs
+// could not attach to syscalls that traces display.
+func TestSyscallNrByNameRoundTrips(t *testing.T) {
+	for _, nr := range []uint64{kernel.SysRead, kernel.SysWrite, kernel.SysFutex, 500} {
+		name := obsv.SyscallName(nr)
+		back, ok := obsv.SyscallNrByName(name)
+		if !ok || back != nr {
+			t.Errorf("SyscallNrByName(%q) = (%d, %v), want (%d, true)", name, back, ok, nr)
+		}
+	}
+	if _, ok := obsv.SyscallNrByName("no_such_syscall"); ok {
+		t.Error("SyscallNrByName accepted a bogus name")
 	}
 }
 

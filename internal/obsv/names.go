@@ -2,6 +2,9 @@ package obsv
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
 	"k23/internal/kernel"
 )
@@ -46,6 +49,34 @@ func SyscallName(nr uint64) string {
 		return n
 	}
 	return fmt.Sprintf("syscall_%d", nr)
+}
+
+// syscallNrs is the lazily built inverse of syscallNames, for probe
+// attach-point resolution (syscall:write:exit needs write -> 1).
+var (
+	syscallNrs     map[string]uint64
+	syscallNrsOnce sync.Once
+)
+
+// SyscallNrByName is the inverse of SyscallName. The "syscall_N"
+// fallback spelling round-trips too, so every number SyscallName can
+// render is resolvable.
+func SyscallNrByName(name string) (uint64, bool) {
+	syscallNrsOnce.Do(func() {
+		syscallNrs = make(map[string]uint64, len(syscallNames))
+		for nr, n := range syscallNames {
+			syscallNrs[n] = nr
+		}
+	})
+	if nr, ok := syscallNrs[name]; ok {
+		return nr, true
+	}
+	if rest, ok := strings.CutPrefix(name, "syscall_"); ok {
+		if nr, err := strconv.ParseUint(rest, 10, 64); err == nil {
+			return nr, true
+		}
+	}
+	return 0, false
 }
 
 // syscallArity gives the number of meaningful arguments per syscall.

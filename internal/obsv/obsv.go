@@ -18,6 +18,7 @@ package obsv
 import (
 	"k23/internal/audit"
 	"k23/internal/kernel"
+	"k23/internal/probe"
 	"k23/internal/sfip"
 	"k23/internal/span"
 )
@@ -55,12 +56,22 @@ type Options struct {
 	// SfipMode is the enforcement posture for SfipPolicy (off/log/
 	// enforce).
 	SfipMode sfip.Mode
+	// Probes, when non-nil, runs a compiled probe program
+	// (internal/probe) over the kernel's side-streams. The Compiled is
+	// immutable and shareable; each observer instantiates its own
+	// engine (keyed by Machine/ProbeMech), preserving the fleet's
+	// no-shared-state invariant.
+	Probes *probe.Compiled
+	// ProbeMech is the static mechanism context the probe `mech` field
+	// reports when the stream itself does not carry one (callers pass
+	// the interposition mechanism the machine runs under).
+	ProbeMech string
 }
 
 // Enabled reports whether any collector is requested.
 func (o Options) Enabled() bool {
 	return o.Trace || o.Metrics || o.Audit || o.Spans || o.ProfileEvery != 0 ||
-		o.SfipLearn || o.SfipPolicy != nil
+		o.SfipLearn || o.SfipPolicy != nil || o.Probes != nil
 }
 
 // Observer bundles the collectors for one kernel (one World). Create
@@ -74,6 +85,7 @@ type Observer struct {
 	SpanBuilder *span.Builder  // nil unless Opts.Spans
 	Learner     *sfip.Learner  // nil unless Opts.SfipLearn
 	Enforcer    *sfip.Enforcer // nil unless Opts.SfipPolicy != nil
+	Probe       *probe.Engine  // nil unless Opts.Probes != nil
 
 	k *kernel.Kernel // set by Install; used for symbolization
 }
@@ -107,7 +119,24 @@ func New(opts Options) *Observer {
 		o.SpanBuilder = span.NewBuilder(opts.Machine)
 		o.SpanBuilder.Names = SyscallName
 	}
+	if opts.Probes != nil {
+		o.Probe = opts.Probes.NewEngine(opts.Machine, opts.ProbeMech)
+	}
 	return o
+}
+
+// CompileProbes parses and compiles a probe program against the obsv
+// naming tables — the one-stop entry point for CLIs, the fleet, and
+// the bench harness.
+func CompileProbes(src string) (*probe.Compiled, error) {
+	prog, err := probe.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return probe.Compile(prog, probe.Config{
+		SyscallName: SyscallName,
+		SyscallNr:   SyscallNrByName,
+	})
 }
 
 // Install attaches the observer to k. With no collectors enabled this
@@ -125,6 +154,13 @@ func (o *Observer) Install(k *kernel.Kernel) {
 	}
 	if o.SpanBuilder != nil {
 		o.installSpanHooks(k)
+	}
+	if o.Probe != nil {
+		// The engine chains onto the same side-stream hooks and only
+		// touches the streams the program actually probes, so a probed
+		// run advances neither eventSeq nor phaseSeq differently from an
+		// unprobed one.
+		o.Probe.Install(k)
 	}
 	if o.Profiler != nil {
 		k.SetProfile(o.Opts.ProfileEvery, o.Profiler.Sample)
@@ -183,6 +219,9 @@ type Snapshot struct {
 	SfipPolicy *sfip.Policy `json:"-"`
 	// Sfip is the enforcement report (nil unless a policy was installed).
 	Sfip *sfip.Report `json:"-"`
+	// Probes holds the probe-engine aggregations (nil unless a program
+	// was installed).
+	Probes *probe.Snapshot `json:"-"`
 }
 
 // Snapshot freezes the observer's state. Call after the machine has
@@ -215,6 +254,9 @@ func (o *Observer) Snapshot() *Snapshot {
 	}
 	if o.Enforcer != nil {
 		s.Sfip = o.Enforcer.Report()
+	}
+	if o.Probe != nil {
+		s.Probes = o.Probe.Snapshot()
 	}
 	return s
 }
@@ -261,5 +303,11 @@ func (s *Snapshot) Merge(other *Snapshot) {
 			s.Sfip = &sfip.Report{}
 		}
 		s.Sfip.Merge(other.Sfip)
+	}
+	if other.Probes != nil {
+		if s.Probes == nil {
+			s.Probes = &probe.Snapshot{}
+		}
+		s.Probes.Merge(other.Probes)
 	}
 }

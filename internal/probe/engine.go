@@ -1,0 +1,547 @@
+package probe
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"k23/internal/kernel"
+)
+
+// HistBuckets mirrors obsv's log2 histogram shape: bucket i counts
+// values whose bit length is i (bucket 0 holds zeros), with one
+// overflow bucket at the top. Sharing the shape keeps probe histograms
+// directly comparable to the metrics collector's latency histograms.
+const HistBuckets = 33
+
+// DefaultEmitCap bounds each engine's emit() flight-recorder ring.
+const DefaultEmitCap = 4096
+
+// Config supplies the naming tables Compile needs to resolve syscall
+// names in attach points and render the `name` field. The obsv package
+// passes its tables; tests can pass stubs.
+type Config struct {
+	// SyscallName renders a syscall number (nil: "syscall_N").
+	SyscallName func(uint64) string
+	// SyscallNr resolves a syscall name from an attach point (nil: only
+	// the "syscall_N" spelling resolves).
+	SyscallNr func(string) (uint64, bool)
+	// EmitCap overrides DefaultEmitCap when > 0.
+	EmitCap int
+}
+
+// Compiled is an immutable compiled program: matchers, predicates and
+// action closures, shareable read-only across any number of engines
+// (the fleet hands one Compiled to every machine; each machine's
+// Engine owns its own aggregation state).
+type Compiled struct {
+	Prog *Program
+	cfg  Config
+
+	evProbes []compiledProbe
+	phProbes []compiledProbe
+	acts     []actionMeta // flat (probe, action) slots, program order
+	nActs    int
+	hasEv    bool
+	hasPh    bool
+}
+
+type actionMeta struct {
+	probe, action int
+	fn            AggFunc
+	arg           Field
+	by            []Field
+}
+
+type compiledProbe struct {
+	probe int
+	match func(c *evctx) bool
+	pred  func(c *evctx) bool // nil when unconditional
+	acts  []compiledAction
+}
+
+type compiledAction struct {
+	slot int // index into Engine state / acts
+	fn   AggFunc
+	arg  func(c *evctx) int64 // nil unless fn.needsArg()
+	key  func(c *evctx) []string
+}
+
+// Compile turns a parsed program into shareable closures. It resolves
+// syscall names in attach points (the only deferred validation) and
+// fails on names the naming table does not know.
+func Compile(prog *Program, cfg Config) (*Compiled, error) {
+	if cfg.SyscallName == nil {
+		cfg.SyscallName = func(nr uint64) string { return fmt.Sprintf("syscall_%d", nr) }
+	}
+	c := &Compiled{Prog: prog, cfg: cfg}
+	for pi, pr := range prog.Probes {
+		cp := compiledProbe{probe: pi}
+		phaseStream := pr.Attach.Provider == "phase" || pr.Attach.Provider == "sched"
+		match, err := c.compileAttach(pr.Attach)
+		if err != nil {
+			return nil, err
+		}
+		cp.match = match
+		if pr.Pred != nil {
+			cp.pred = compileBool(pr.Pred)
+		}
+		for ai, a := range pr.Actions {
+			slot := len(c.acts)
+			c.acts = append(c.acts, actionMeta{probe: pi, action: ai, fn: a.Func, arg: a.Arg, by: a.By})
+			ca := compiledAction{slot: slot, fn: a.Func}
+			if a.Func.needsArg() {
+				f := a.Arg
+				ca.arg = func(ctx *evctx) int64 { return ctx.num(f) }
+			}
+			by := a.By
+			ca.key = func(ctx *evctx) []string {
+				if len(by) == 0 {
+					return nil
+				}
+				ks := make([]string, len(by))
+				for i, f := range by {
+					if f.IsString() {
+						ks[i] = ctx.str(f)
+					} else {
+						ks[i] = strconv.FormatInt(ctx.num(f), 10)
+					}
+				}
+				return ks
+			}
+			cp.acts = append(cp.acts, ca)
+		}
+		if phaseStream {
+			c.phProbes = append(c.phProbes, cp)
+			c.hasPh = true
+		} else {
+			c.evProbes = append(c.evProbes, cp)
+			c.hasEv = true
+		}
+	}
+	c.nActs = len(c.acts)
+	return c, nil
+}
+
+// compileAttach builds the stream matcher for one attach point.
+func (c *Compiled) compileAttach(a Attach) (func(*evctx) bool, error) {
+	switch a.Provider {
+	case "syscall":
+		kind := kernel.EvEnter
+		if a.Part2 == "exit" {
+			kind = kernel.EvExit
+		}
+		if a.Part1 == "*" {
+			return func(ctx *evctx) bool { return ctx.ev.Kind == kind }, nil
+		}
+		nr, err := c.resolveSyscall(a.Part1)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx *evctx) bool { return ctx.ev.Kind == kind && ctx.ev.Num == nr }, nil
+	case "signal":
+		return func(ctx *evctx) bool { return ctx.ev.Kind == kernel.EvSignal }, nil
+	case "chaos":
+		return func(ctx *evctx) bool { return ctx.ev.Kind == kernel.EvChaos }, nil
+	case "sfip":
+		return func(ctx *evctx) bool { return ctx.ev.Kind == kernel.EvSfipViolation }, nil
+	case "event":
+		if a.Part1 == "*" {
+			return func(ctx *evctx) bool { return true }, nil
+		}
+		k, _ := kernel.EventKindByName(a.Part1) // validated at parse
+		return func(ctx *evctx) bool { return ctx.ev.Kind == k }, nil
+	case "sched":
+		ph := kernel.PhBlock
+		if a.Part1 == "wake" {
+			ph = kernel.PhWake
+		}
+		return func(ctx *evctx) bool { return ctx.pm.Phase == ph }, nil
+	case "phase":
+		mech := a.Part1
+		var ph kernel.Phase
+		anyPhase := a.Part2 == "*"
+		if !anyPhase {
+			ph, _ = kernel.PhaseByName(a.Part2) // validated at parse
+		}
+		return func(ctx *evctx) bool {
+			if !anyPhase && ctx.pm.Phase != ph {
+				return false
+			}
+			return mech == "*" || ctx.str(FMech) == mech
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown attach provider %q", a.Provider)
+}
+
+// resolveSyscall maps an attach-point syscall name to its number.
+func (c *Compiled) resolveSyscall(name string) (uint64, error) {
+	if c.cfg.SyscallNr != nil {
+		if nr, ok := c.cfg.SyscallNr(name); ok {
+			return nr, nil
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "syscall_"); ok {
+		if nr, err := strconv.ParseUint(rest, 10, 64); err == nil {
+			return nr, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown syscall %q in attach point", name)
+}
+
+// ---------------------------------------------------------------------
+// Predicate compilation
+// ---------------------------------------------------------------------
+
+func compileBool(e Expr) func(*evctx) bool {
+	switch n := e.(type) {
+	case boolExpr:
+		l, r := compileBool(n.L), compileBool(n.R)
+		if n.Op == "&&" {
+			return func(c *evctx) bool { return l(c) && r(c) }
+		}
+		return func(c *evctx) bool { return l(c) || r(c) }
+	case notExpr:
+		x := compileBool(n.X)
+		return func(c *evctx) bool { return !x(c) }
+	case cmpExpr:
+		if n.L.typ() == tStr {
+			l, r := compileStr(n.L), compileStr(n.R)
+			if n.Op == "==" {
+				return func(c *evctx) bool { return l(c) == r(c) }
+			}
+			return func(c *evctx) bool { return l(c) != r(c) }
+		}
+		l, r := compileNum(n.L), compileNum(n.R)
+		switch n.Op {
+		case "==":
+			return func(c *evctx) bool { return l(c) == r(c) }
+		case "!=":
+			return func(c *evctx) bool { return l(c) != r(c) }
+		case "<":
+			return func(c *evctx) bool { return l(c) < r(c) }
+		case "<=":
+			return func(c *evctx) bool { return l(c) <= r(c) }
+		case ">":
+			return func(c *evctx) bool { return l(c) > r(c) }
+		default:
+			return func(c *evctx) bool { return l(c) >= r(c) }
+		}
+	}
+	// Unreachable on type-checked programs.
+	return func(*evctx) bool { return false }
+}
+
+func compileNum(e Expr) func(*evctx) int64 {
+	switch n := e.(type) {
+	case numExpr:
+		v := n.V
+		return func(*evctx) int64 { return v }
+	case fieldExpr:
+		f := n.F
+		return func(c *evctx) int64 { return c.num(f) }
+	}
+	return func(*evctx) int64 { return 0 }
+}
+
+func compileStr(e Expr) func(*evctx) string {
+	switch n := e.(type) {
+	case strExpr:
+		v := n.V
+		return func(*evctx) string { return v }
+	case fieldExpr:
+		f := n.F
+		return func(c *evctx) string { return c.str(f) }
+	}
+	return func(*evctx) string { return "" }
+}
+
+// ---------------------------------------------------------------------
+// Runtime engine
+// ---------------------------------------------------------------------
+
+// cell is one keyed aggregation bucket.
+type cell struct {
+	key   []string
+	count uint64
+	val   int64 // sum for sum/hist, extremum for min/max
+	hist  []uint64
+}
+
+// Engine holds the mutable aggregation state for one machine. Engines
+// are single-writer (the machine's simulation goroutine) like every
+// other collector; fleets merge Snapshots afterwards.
+type Engine struct {
+	c       *Compiled
+	machine string
+	mech    string
+
+	cells []map[string]*cell // one map per flat action slot
+
+	emits   []Emit // emit() ring, emitOrd-stamped
+	emitCap int
+	emitOrd uint64
+}
+
+// NewEngine instantiates per-machine state for a compiled program.
+// machine tags emit records (fleet merges keep machines separate);
+// mech is the static mechanism context the `mech` field reports when
+// the stream itself does not carry one.
+func (c *Compiled) NewEngine(machine, mech string) *Engine {
+	cap := c.cfg.EmitCap
+	if cap <= 0 {
+		cap = DefaultEmitCap
+	}
+	e := &Engine{c: c, machine: machine, mech: mech, emitCap: cap}
+	e.cells = make([]map[string]*cell, c.nActs)
+	for i := range e.cells {
+		e.cells[i] = make(map[string]*cell)
+	}
+	return e
+}
+
+// HasEventProbes reports whether any probe attaches to the main event
+// stream (engine install skips the hook otherwise).
+func (c *Compiled) HasEventProbes() bool { return c.hasEv }
+
+// HasPhaseProbes reports whether any probe attaches to the phase
+// side-stream.
+func (c *Compiled) HasPhaseProbes() bool { return c.hasPh }
+
+// Install attaches the engine to k's side-stream hooks, chaining any
+// observers already present. Only the streams the program actually
+// probes get a hook, preserving the kernel's single nil-check disabled
+// path for the other.
+func (e *Engine) Install(k *kernel.Kernel) {
+	if e.c.hasEv {
+		k.AddEventHook(e.HandleEvent)
+	}
+	if e.c.hasPh {
+		k.AddPhaseHook(e.HandlePhase)
+	}
+}
+
+// HandleEvent runs the event-stream probes against one kernel event.
+func (e *Engine) HandleEvent(ev kernel.Event) {
+	ctx := evctx{eng: e, ev: &ev}
+	for i := range e.c.evProbes {
+		e.run(&e.c.evProbes[i], &ctx)
+	}
+}
+
+// HandlePhase runs the phase-stream probes against one phase mark.
+func (e *Engine) HandlePhase(m kernel.PhaseMark) {
+	ctx := evctx{eng: e, pm: &m}
+	for i := range e.c.phProbes {
+		e.run(&e.c.phProbes[i], &ctx)
+	}
+}
+
+func (e *Engine) run(p *compiledProbe, ctx *evctx) {
+	if !p.match(ctx) {
+		return
+	}
+	if p.pred != nil && !p.pred(ctx) {
+		return
+	}
+	for i := range p.acts {
+		a := &p.acts[i]
+		if a.fn == AggEmit {
+			e.emit(p.probe, ctx)
+			continue
+		}
+		ks := a.key(ctx)
+		mk := strings.Join(ks, "\x1f")
+		cl := e.cells[a.slot][mk]
+		if cl == nil {
+			cl = &cell{key: ks}
+			e.cells[a.slot][mk] = cl
+		}
+		switch a.fn {
+		case AggCount:
+			cl.count++
+		case AggSum:
+			cl.count++
+			cl.val += a.arg(ctx)
+		case AggMin:
+			v := a.arg(ctx)
+			if cl.count == 0 || v < cl.val {
+				cl.val = v
+			}
+			cl.count++
+		case AggMax:
+			v := a.arg(ctx)
+			if cl.count == 0 || v > cl.val {
+				cl.val = v
+			}
+			cl.count++
+		case AggHist:
+			v := a.arg(ctx)
+			if cl.hist == nil {
+				cl.hist = make([]uint64, HistBuckets)
+			}
+			cl.hist[histBucket(v)]++
+			cl.count++
+			cl.val += v
+		}
+	}
+}
+
+// histBucket mirrors obsv.Hist.Observe: bucket = bit length, clamped
+// into the overflow bucket (negative values land there too — the only
+// signed field is ret, and a caller histogramming raw returns wants
+// errno magnitudes kept visible, not folded into small buckets).
+func histBucket(v int64) int {
+	if v < 0 {
+		return HistBuckets - 1
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// emit appends one record to the engine's flight-recorder ring
+// (most-recent-wins, like the obsv trace ring; the first retained ord
+// reveals how many were dropped).
+func (e *Engine) emit(probeIdx int, ctx *evctx) {
+	var em Emit
+	em.Machine = e.machine
+	em.Ord = e.emitOrd
+	e.emitOrd++
+	em.Probe = probeIdx
+	if ev := ctx.ev; ev != nil {
+		em.Stream = "ev"
+		em.Seq = ev.Seq
+		em.Clock = ev.Clock
+		em.PID = ev.PID
+		em.TID = ev.TID
+		em.Kind = ev.Kind.String()
+		em.Num = ev.Num
+		em.Ret = int64(ev.Ret)
+		em.Detail = ev.Detail
+	} else {
+		m := ctx.pm
+		em.Stream = "ph"
+		em.Seq = m.Seq
+		em.Clock = m.Clock
+		em.PID = m.PID
+		em.TID = m.TID
+		em.Kind = m.Phase.String()
+		em.Num = m.Num
+		em.Detail = m.Detail
+	}
+	if len(e.emits) < e.emitCap {
+		e.emits = append(e.emits, em)
+	} else {
+		e.emits[em.Ord%uint64(e.emitCap)] = em
+	}
+}
+
+// ---------------------------------------------------------------------
+// Field resolution
+// ---------------------------------------------------------------------
+
+// evctx adapts one event or phase mark to the DSL's field namespace.
+// Exactly one of ev/pm is set.
+type evctx struct {
+	eng *Engine
+	ev  *kernel.Event
+	pm  *kernel.PhaseMark
+}
+
+func (c *evctx) num(f Field) int64 {
+	if e := c.ev; e != nil {
+		switch f {
+		case FNr:
+			return int64(e.Num)
+		case FErrno:
+			if n, ok := kernel.IsErr(e.Ret); ok {
+				return int64(n)
+			}
+			return 0
+		case FTid:
+			return int64(e.TID)
+		case FPid:
+			return int64(e.PID)
+		case FRet:
+			return int64(e.Ret)
+		case FCycles:
+			return int64(e.Cost)
+		case FVclock:
+			return int64(e.Clock)
+		case FSite:
+			return int64(e.Site)
+		}
+		return 0
+	}
+	m := c.pm
+	switch f {
+	case FNr:
+		return int64(m.Num)
+	case FTid:
+		return int64(m.TID)
+	case FPid:
+		return int64(m.PID)
+	case FCycles:
+		return int64(m.Cycles)
+	case FVclock:
+		return int64(m.Clock)
+	case FSite:
+		return int64(m.Site)
+	}
+	return 0 // ret/errno do not exist on the phase stream
+}
+
+func (c *evctx) str(f Field) string {
+	if e := c.ev; e != nil {
+		switch f {
+		case FMech:
+			if e.Kind == kernel.EvInterposed || e.Kind == kernel.EvResolve {
+				return e.Detail
+			}
+			return c.eng.mech
+		case FName:
+			if e.Kind == kernel.EvSignal {
+				return ""
+			}
+			return c.eng.c.cfg.SyscallName(e.Num)
+		case FPhase:
+			return ""
+		case FKind:
+			return e.Kind.String()
+		case FDetail:
+			return e.Detail
+		}
+		return ""
+	}
+	m := c.pm
+	switch f {
+	case FMech:
+		if isHandlerPhase(m.Phase) && m.Detail != "" {
+			return m.Detail
+		}
+		return c.eng.mech
+	case FName:
+		return c.eng.c.cfg.SyscallName(m.Num)
+	case FPhase:
+		return m.Phase.String()
+	case FKind:
+		return "phase"
+	case FDetail:
+		return m.Detail
+	}
+	return ""
+}
+
+// isHandlerPhase reports whether the mark's Detail carries a mechanism
+// name (interposer lifecycle phases) rather than a wake reason.
+func isHandlerPhase(p kernel.Phase) bool {
+	switch p {
+	case kernel.PhHandler, kernel.PhHook, kernel.PhEmulate, kernel.PhForward, kernel.PhHandlerRet:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package probe
+
+import "testing"
+
+// FuzzProbeParse: the parser never panics, and any program it accepts
+// formats canonically — parse(format(p)) succeeds and format is a
+// fixed point. Wired into the CI fuzz smoke next to the decoder and
+// checkpoint fuzzers.
+func FuzzProbeParse(f *testing.F) {
+	seeds := []string{
+		`syscall:write:exit /errno == 0/ { hist(cycles) by (mech) }`,
+		`syscall:*:entry { count() by (name, tid) }`,
+		`phase:*:block { sum(cycles) }`,
+		`sched:wake /detail == "accept"/ { count() }`,
+		`chaos:inject { emit() }`,
+		`sfip:violation { count() by (name, site) }`,
+		`event:oracle /nr != 500 && (tid == 1 || tid == 2)/ { count() }`,
+		`signal:deliver { min(vclock); max(vclock) }`,
+		`syscall:read:exit /ret < 0 || !(cycles >= 1000)/ { hist(ret) }`,
+		"# comment\nsyscall:write:exit{count()}",
+		`syscall:write:exit /detail == "a\"b\\c"/ { count() }`,
+		`phase:zpoline:handler-return { count() }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := prog.Format()
+		prog2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical text rejected: %q from %q: %v", canon, src, err)
+		}
+		if got := prog2.Format(); got != canon {
+			t.Fatalf("format not a fixed point: %q -> %q (input %q)", canon, got, src)
+		}
+		if prog2.Hash() != prog.Hash() {
+			t.Fatalf("hash unstable across round trip for %q", src)
+		}
+	})
+}

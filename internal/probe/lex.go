@@ -1,0 +1,139 @@
+package probe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Token kinds. The DSL is small enough that operators are carried as
+// their literal spelling in tok.text.
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkOp // one of : * / { } ( ) , ; ! - == != <= >= < > && ||
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []tok
+}
+
+// lex tokenizes src. Errors carry the byte offset of the offending
+// rune. `#` starts a comment running to end of line.
+func lex(src string) ([]tok, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentRune(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, tok{tkIdent, l.src[start:l.pos], start})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			// Reject trailing identifier runes (e.g. "12abc") here so the
+			// parser never sees a malformed literal pair.
+			if l.pos < len(l.src) && isIdentStart(l.src[l.pos]) {
+				return nil, fmt.Errorf("offset %d: malformed number", start)
+			}
+			l.toks = append(l.toks, tok{tkNumber, l.src[start:l.pos], start})
+		case c == '"':
+			start := l.pos
+			l.pos++
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '"' {
+					l.pos++
+					closed = true
+					break
+				}
+				if ch == '\\' && l.pos+1 < len(l.src) {
+					next := l.src[l.pos+1]
+					if next == '"' || next == '\\' {
+						sb.WriteByte(next)
+						l.pos += 2
+						continue
+					}
+					return nil, fmt.Errorf("offset %d: unsupported escape \\%c", l.pos, next)
+				}
+				if ch == '\n' {
+					break
+				}
+				sb.WriteByte(ch)
+				l.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("offset %d: unterminated string", start)
+			}
+			l.toks = append(l.toks, tok{tkString, sb.String(), start})
+		case strings.ContainsRune("=!<>&|", rune(c)):
+			start := l.pos
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				l.pos += 2
+				l.toks = append(l.toks, tok{tkOp, two, start})
+			default:
+				switch c {
+				case '<', '>', '!':
+					l.pos++
+					l.toks = append(l.toks, tok{tkOp, string(c), start})
+				default:
+					return nil, fmt.Errorf("offset %d: unexpected %q", start, string(c))
+				}
+			}
+		case strings.ContainsRune(":*/{}(),;-", rune(c)):
+			l.toks = append(l.toks, tok{tkOp, string(c), l.pos})
+			l.pos++
+		default:
+			r := rune(c)
+			if r >= 0x80 {
+				// Decode enough to report something readable.
+				r = []rune(l.src[l.pos:])[0]
+			}
+			return nil, fmt.Errorf("offset %d: unexpected %q", l.pos, string(r))
+		}
+	}
+	l.toks = append(l.toks, tok{tkEOF, "", len(l.src)})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+// isIdentRune accepts '-', '.' and '+' inside identifiers so attach
+// parts like handler-return and mechanism names such as k23-ultra+
+// stay single tokens. '-' never starts an identifier, so unary minus
+// remains unambiguous at expression position.
+func isIdentRune(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '+'
+}

@@ -1,0 +1,132 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"k23/internal/kernel"
+)
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	cases := []string{
+		`syscall:write:exit /errno == 0/ { hist(cycles) by (mech) }`,
+		`syscall:*:entry { count() by (name, tid) }`,
+		`phase:*:block { sum(cycles) }`,
+		`phase:zpoline:handler { count(); max(cycles) by (name) }`,
+		`sched:wake /detail == "accept"/ { count() by (detail) }`,
+		`signal:deliver { count() by (nr) }`,
+		`chaos:inject { emit() }`,
+		`sfip:violation { emit(); count() by (name, site) }`,
+		`event:oracle /nr != 500 && (tid == 1 || tid == 2)/ { count() }`,
+		`syscall:read:exit /ret < 0 || cycles >= 1000/ { min(vclock); hist(ret) }`,
+		`event:* { count() by (kind) }`,
+	}
+	for _, src := range cases {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		got := p.Format()
+		if got != src {
+			t.Errorf("Format(Parse(%q)) = %q, not canonical", src, got)
+		}
+		p2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", got, err)
+		}
+		if p2.Format() != got {
+			t.Errorf("format not a fixed point for %q", src)
+		}
+	}
+}
+
+func TestParseNormalizesWhitespaceAndComments(t *testing.T) {
+	src := "# per-mech write latency\nsyscall:write:exit\n  /errno==0/{hist(cycles)by(mech);count()}"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := `syscall:write:exit /errno == 0/ { hist(cycles) by (mech); count() }`
+	if got := p.Format(); got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{``, "empty"},
+		{`bogus:write:exit { count() }`, "unknown attach provider"},
+		{`syscall:write:during { count() }`, "entry|exit"},
+		{`phase:*:warp { count() }`, "unknown phase"},
+		{`event:warp { count() }`, "unknown event kind"},
+		{`sched:spin { count() }`, "sched attach point"},
+		{`signal:deliver:now { count() }`, "signal attach point"},
+		{`syscall:write:exit { frobnicate() }`, "unknown action"},
+		{`syscall:write:exit { sum() }`, "expected field"},
+		{`syscall:write:exit { sum(mech) }`, "numeric field"},
+		{`syscall:write:exit { count() by (mech, mech) }`, "duplicate key field"},
+		{`syscall:write:exit { emit() by (mech) }`, "no by clause"},
+		{`syscall:write:exit /mech < "a"/ { count() }`, "== and !="},
+		{`syscall:write:exit /mech == 3/ { count() }`, "mixed"},
+		{`syscall:write:exit /cycles/ { count() }`, "not boolean"},
+		{`syscall:write:exit /cycles && 1/ { count() }`, "boolean operands"},
+		{`syscall:write:exit /!cycles/ { count() }`, "boolean operand"},
+		{`syscall:write:exit /unknownfield == 3/ { count() }`, "unknown field"},
+		{`syscall:write:exit { count()`, "expected \"}\""},
+		{`syscall:write:exit /cycles == 99999999999999999999/ { count() }`, "out of range"},
+		{`syscall:write:exit /detail == "unterminated/ { count() }`, "unterminated string"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestProgramHashPinsCanonicalText(t *testing.T) {
+	a, err := Parse(`syscall:write:exit { count() }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("syscall:write:exit   {count( )}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Errorf("equivalent programs hash differently: %x vs %x", a.Hash(), b.Hash())
+	}
+	c, err := Parse(`syscall:read:exit { count() }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == c.Hash() {
+		t.Errorf("distinct programs share hash %x", a.Hash())
+	}
+}
+
+// TestAttachTablesParse proves every canonical binding in
+// EventKindAttach/PhaseAttach is a valid attach point, so the obsv
+// exhaustiveness guard can rely on the spellings.
+func TestAttachTablesParse(t *testing.T) {
+	for k, attach := range EventKindAttach {
+		if _, err := Parse(attach + " { count() }"); err != nil {
+			t.Errorf("EventKindAttach[%v] = %q does not parse: %v", k, attach, err)
+		}
+	}
+	for ph, attach := range PhaseAttach {
+		if _, err := Parse(attach + " { count() }"); err != nil {
+			t.Errorf("PhaseAttach[%v] = %q does not parse: %v", ph, attach, err)
+		}
+	}
+	if len(EventKindAttach) != kernel.NumEventKinds {
+		t.Errorf("EventKindAttach covers %d kinds, kernel has %d", len(EventKindAttach), kernel.NumEventKinds)
+	}
+	if len(PhaseAttach) != kernel.NumPhases-1 { // PhUnknown has no binding
+		t.Errorf("PhaseAttach covers %d phases, kernel has %d (minus PhUnknown)", len(PhaseAttach), kernel.NumPhases-1)
+	}
+}
